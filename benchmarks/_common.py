@@ -1,0 +1,49 @@
+"""Shared helpers for the benchmark suite.
+
+Each ``bench_*.py`` module regenerates one experiment from DESIGN.md §3
+(the per-experiment index maps them to the paper's claims).  Benchmarks
+print paper-style result rows and *assert the claimed shape* — who wins and
+by roughly what factor — so `pytest benchmarks/ --benchmark-only` doubles as
+a reproduction check.
+
+Set ``REPRO_BENCH_SCALE=large`` to run the E1/E2 workloads at ~20k simulated
+tasks instead of the default ~5k (slower, closer to the paper's magnitude).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Iterable, Sequence
+
+
+def bench_scale() -> str:
+    return os.environ.get("REPRO_BENCH_SCALE", "default")
+
+
+def guidance_chunks() -> int:
+    """chunks/chromosome for GUIDANCE-derived benches (22 chromosomes)."""
+    return 224 if bench_scale() == "large" else 56
+
+
+def print_table(title: str, header: Sequence[str], rows: Iterable[Sequence]) -> None:
+    """Print one paper-style results table (visible under pytest -s)."""
+    print(f"\n=== {title}")
+    widths = [max(len(str(h)), 12) for h in header]
+    print("  " + "  ".join(str(h).rjust(w) for h, w in zip(header, widths)))
+    for row in rows:
+        print(
+            "  "
+            + "  ".join(
+                (f"{v:.2f}" if isinstance(v, float) else str(v)).rjust(w)
+                for v, w in zip(row, widths)
+            )
+        )
+
+
+def run_once(benchmark, fn: Callable):
+    """Run ``fn`` exactly once under pytest-benchmark timing.
+
+    These experiments are deterministic simulations — repeated rounds only
+    repeat identical arithmetic — so one round keeps the suite fast.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

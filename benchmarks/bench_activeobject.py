@@ -1,0 +1,79 @@
+"""E5 — dataClay in-store method execution (claim C4).
+
+Paper: dataClay "holds a registry of the classes where the objects belong,
+including their methods, which are executed within the object store
+transparently to applications. This feature minimizes the number of data
+transfers from the data store to the application, thus providing
+performance improvements."
+
+Workload: aggregation methods over persisted arrays of growing size.
+Compares fetch-then-compute against execute-in-store, reporting both bytes
+moved (the paper's mechanism) and modeled wall time over a 1 Gbit/s link.
+Expected shape: in-store moves O(result) bytes regardless of object size,
+so its advantage grows linearly with object size.
+"""
+
+import numpy as np
+
+from _common import print_table, run_once
+
+from repro.infrastructure.network import Link
+from repro.storage import ActiveObject, ActiveObjectStore
+
+LINK = Link(latency_s=1e-3, bandwidth_bps=1e9 / 8)
+OBJECT_ELEMENTS = [10_000, 100_000, 1_000_000]
+CALLS_PER_OBJECT = 5
+
+
+class Series(ActiveObject):
+    def __init__(self, values):
+        super().__init__()
+        self.values = np.asarray(values)
+
+    def mean(self):
+        return float(self.values.mean())
+
+
+def run_comparison():
+    results = {}
+    for elements in OBJECT_ELEMENTS:
+        store = ActiveObjectStore(["sn-0", "sn-1"], name="dataclay")
+        series = Series(np.arange(elements, dtype=float))
+        series.make_persistent(store)
+        for _ in range(CALLS_PER_OBJECT):
+            series.remote("mean")
+        in_store_bytes = store.bytes_moved_calls
+        for _ in range(CALLS_PER_OBJECT):
+            store.fetch(series.getID()).mean()
+        fetch_bytes = store.bytes_moved_fetch
+        results[elements] = (in_store_bytes, fetch_bytes)
+    return results
+
+
+def test_in_store_execution_minimizes_transfers(benchmark):
+    results = run_once(benchmark, run_comparison)
+    rows = []
+    for elements, (in_store, fetch) in results.items():
+        rows.append(
+            (
+                elements,
+                in_store,
+                fetch,
+                fetch / max(1, in_store),
+                LINK.transfer_time(in_store),
+                LINK.transfer_time(fetch),
+            )
+        )
+    print_table(
+        "E5: dataClay execute-in-store vs fetch-then-compute "
+        f"({CALLS_PER_OBJECT} calls/object)",
+        ["elements", "instore_B", "fetch_B", "ratio", "instore_s", "fetch_s"],
+        rows,
+    )
+    ratios = [fetch / max(1, in_store) for in_store, fetch in results.values()]
+    # In-store always wins, and the advantage grows with object size.
+    assert all(r > 10 for r in ratios)
+    assert ratios == sorted(ratios)
+    # In-store traffic is size-independent (only args + scalar results).
+    in_store_values = [in_store for in_store, _ in results.values()]
+    assert max(in_store_values) - min(in_store_values) < 1024

@@ -1,0 +1,104 @@
+"""E12 — dislib parallel scaling (§VI-C).
+
+Paper: dislib provides "optimized algorithms that run in parallel"
+(internally parallelized with PyCOMPSs).
+
+This host may have a single core (it does in CI), so wall-clock speedup is
+not measurable here; what the claim is actually about is the *task graph*
+dislib emits: per k-means iteration, one partial-assignment task per block
+plus one merge — i.e. width-B parallelism with a short reduction tail.  The
+bench (a) verifies the real estimators emit exactly that graph, and (b)
+replays the same DAG shape on the simulated backend across worker counts to
+regenerate the scaling curve a multicore/multinode deployment would see.
+"""
+
+import numpy as np
+
+from _common import print_table, run_once
+
+from repro import Runtime
+from repro.dislib import KMeans, LinearRegression, array
+from repro.executor import SimulatedExecutor, SimWorkflowBuilder
+from repro.infrastructure import Node, NodeKind, Platform
+
+NUM_BLOCKS = 16
+ITERATIONS = 8
+WORKER_SWEEP = [1, 2, 4, 8, 16]
+PARTIAL_SECONDS = 5.0
+MERGE_SECONDS = 0.5
+
+
+def real_graph_shape():
+    """Fit the real estimators and capture the task graph they emitted."""
+    rng = np.random.default_rng(0)
+    data = rng.normal(size=(NUM_BLOCKS * 100, 4))
+    ds = array(data, block_shape=(100, 4))
+    y = array(rng.normal(size=(NUM_BLOCKS * 100, 1)), block_shape=(100, 1))
+    stats = {}
+    with Runtime(workers=2) as runtime:
+        KMeans(n_clusters=3, max_iter=ITERATIONS, tol=0.0, seed=0).fit(ds)
+        stats["kmeans_tasks"] = runtime.statistics()["tasks_done"]
+    with Runtime(workers=2) as runtime:
+        LinearRegression().fit(ds, y)
+        stats["linreg_tasks"] = runtime.statistics()["tasks_done"]
+    return stats
+
+
+def simulated_kmeans_dag():
+    """The DAG shape dislib's KMeans emits, with synthetic block costs."""
+    builder = SimWorkflowBuilder()
+    previous_merge = None
+    for iteration in range(ITERATIONS):
+        partial_outputs = []
+        for block in range(NUM_BLOCKS):
+            inputs = [previous_merge] if previous_merge else []
+            name = f"it{iteration}/partial{block}"
+            builder.add_task(
+                name, duration=PARTIAL_SECONDS, inputs=inputs, outputs={name: 1e4}
+            )
+            partial_outputs.append(name)
+        merge = f"it{iteration}/merge"
+        builder.add_task(
+            merge, duration=MERGE_SECONDS, inputs=partial_outputs, outputs={merge: 1e3}
+        )
+        previous_merge = merge
+    return builder
+
+
+def simulate(workers: int) -> float:
+    platform = Platform()
+    platform.add_node(Node("worker-pool", kind=NodeKind.HPC, cores=workers, memory_mb=64_000))
+    builder = simulated_kmeans_dag()
+    return SimulatedExecutor(builder.graph, platform).run().makespan
+
+
+def run_all():
+    return real_graph_shape(), {w: simulate(w) for w in WORKER_SWEEP}
+
+
+def test_dislib_task_graph_scales(benchmark):
+    shape, sweep = run_once(benchmark, run_all)
+    # (a) Real estimators emit the expected graphs: kmeans = (B partials +
+    # 1 merge) per iteration; linreg = B gram partials + 1 solve.
+    assert shape["kmeans_tasks"] == ITERATIONS * (NUM_BLOCKS + 1)
+    assert shape["linreg_tasks"] == NUM_BLOCKS + 1
+
+    base = sweep[1]
+    rows = [
+        (w, sweep[w], base / sweep[w], (base / sweep[w]) / w) for w in WORKER_SWEEP
+    ]
+    print_table(
+        f"E12: dislib KMeans DAG ({NUM_BLOCKS} blocks x {ITERATIONS} iters) "
+        "on simulated workers",
+        ["workers", "fit_seconds", "speedup", "efficiency"],
+        rows,
+    )
+    # (b) Shape: near-linear until the per-iteration merge tail dominates.
+    speedups = [base / sweep[w] for w in WORKER_SWEEP]
+    assert all(b >= a for a, b in zip(speedups, speedups[1:]))
+    assert speedups[WORKER_SWEEP.index(8)] > 0.8 * 8
+    # Amdahl ceiling from the serial merges: B*P/(P + merge) per iteration.
+    ceiling = (NUM_BLOCKS * PARTIAL_SECONDS + MERGE_SECONDS) / (
+        PARTIAL_SECONDS + MERGE_SECONDS
+    )
+    assert speedups[-1] <= ceiling + 1e-6

@@ -1,0 +1,109 @@
+"""E8 — cloud and SLURM elasticity (claim C6).
+
+Paper: "COMPSs runtime also supports elasticity in clouds, federated clouds
+and in SLURM managed clusters."
+
+Part A (cloud): a bursty workload on a small fixed cluster vs the same
+cluster plus a reactive elasticity policy provisioning VMs.  Expected shape:
+elastic tracks the burst — much lower makespan — while releasing the VMs
+afterwards (bounded cost).
+
+Part B (SLURM): a running job grows its allocation mid-run and the extra
+nodes join the schedulable pool.
+"""
+
+from _common import print_table, run_once
+
+from repro.executor import SimulatedExecutor
+from repro.infrastructure import (
+    CloudProvider,
+    ElasticityPolicy,
+    SlurmManager,
+    make_hpc_cluster,
+)
+from repro.infrastructure.cloud import VmTemplate
+from repro.simulation import SimulationEngine
+from repro.workloads import embarrassingly_parallel
+
+BURST_TASKS = 300
+TASK_SECONDS = 30.0
+
+
+def run_fixed():
+    builder = embarrassingly_parallel(BURST_TASKS, duration=TASK_SECONDS)
+    platform = make_hpc_cluster(1, cores_per_node=8)
+    return SimulatedExecutor(builder.graph, platform).run(), 0, 0.0
+
+
+def run_elastic():
+    builder = embarrassingly_parallel(BURST_TASKS, duration=TASK_SECONDS)
+    platform = make_hpc_cluster(1, cores_per_node=8)
+    engine = SimulationEngine()
+    executor = SimulatedExecutor(builder.graph, platform, engine=engine)
+    provider = CloudProvider(
+        platform,
+        engine,
+        startup_delay_s=45.0,
+        template=VmTemplate(cores=16),
+        max_nodes=12,
+        cost_per_node_second=0.0001,
+    )
+    policy = ElasticityPolicy(
+        provider,
+        engine,
+        backlog_fn=lambda: executor.graph.ready_count,
+        idle_nodes_fn=lambda: [
+            name
+            for name in provider.active_nodes
+            if executor.scheduler.ledger.has_node(name)
+            and executor.scheduler.ledger.state(name).idle
+        ],
+        period_s=15.0,
+        scale_out_backlog=1.0,
+    )
+    policy.start()
+    report = executor.run()
+    policy.stop()
+    provider.shutdown()
+    return report, policy.scale_out_actions, provider.total_cost
+
+
+def run_slurm_growth():
+    platform = make_hpc_cluster(8)
+    engine = SimulationEngine()
+    slurm = SlurmManager(platform, engine)
+    sizes = []
+    job = slurm.submit(2, on_grow=lambda j, nodes: sizes.append(len(j.allocated)))
+    engine.run()
+    initial = len(job.allocated)
+    slurm.request_grow(job.job_id, 4)
+    engine.run()
+    return initial, len(job.allocated)
+
+
+def run_all():
+    return run_fixed(), run_elastic(), run_slurm_growth()
+
+
+def test_elasticity_tracks_bursts(benchmark):
+    (fixed, _, _), (elastic, scale_outs, cost), (before, after) = run_once(
+        benchmark, run_all
+    )
+    rows = [
+        ("fixed 1x8 cores", fixed.makespan / 60, fixed.tasks_done, 0, 0.0),
+        ("elastic (cloud VMs)", elastic.makespan / 60, elastic.tasks_done, scale_outs, cost),
+    ]
+    print_table(
+        "E8a: bursty workload — fixed vs elastic resources",
+        ["variant", "makespan_min", "tasks", "scale_outs", "cost"],
+        rows,
+    )
+    print_table(
+        "E8b: SLURM elasticity — running job grows its allocation",
+        ["allocation_before", "allocation_after"],
+        [(before, after)],
+    )
+    assert elastic.tasks_done == fixed.tasks_done == BURST_TASKS
+    assert elastic.makespan < 0.5 * fixed.makespan
+    assert scale_outs >= 1
+    assert (before, after) == (2, 6)

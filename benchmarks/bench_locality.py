@@ -1,0 +1,115 @@
+"""E4 — data-locality scheduling via SRI getLocations (claim C4).
+
+Paper: "the getLocations method will enable the runtime to exploit the
+locality of the data by scheduling tasks in the location where the data
+resides."
+
+Workload: analysis tasks each reading one 2 GB persisted partition, with
+partitions spread over the cluster (as a Hecuba/Cassandra ring would place
+them).  Compares a locality-blind FIFO scheduler against the locality-aware
+policy.  Expected shape: locality-aware moves ~zero bytes and beats FIFO's
+makespan; the gap widens as partitions grow.
+"""
+
+from _common import print_table, run_once
+
+from repro.executor import SimulatedExecutor, SimWorkflowBuilder
+from repro.infrastructure import NetworkTopology, Node, NodeKind, Platform
+from repro.infrastructure.network import Link
+from repro.scheduling import DataLocationService, FifoPolicy, LocalityPolicy
+from repro.storage import ConsistentHashRing
+
+NUM_PARTITIONS = 64
+NUM_NODES = 8
+PARTITION_BYTES = [0.5e9, 2e9, 8e9]
+
+
+def make_cluster():
+    """A commodity analytics cluster: 10 GbE between nodes (each its own
+    zone), the regime Hecuba/Cassandra deployments actually live in —
+    where moving a partition costs the same order as processing it."""
+    network = NetworkTopology(default_link=Link(latency_s=0.5e-3, bandwidth_bps=10e9 / 8))
+    platform = Platform(name="analytics", network=network)
+    for index in range(NUM_NODES):
+        platform.add_node(
+            Node(f"dn-{index}", kind=NodeKind.CLOUD, cores=16, memory_mb=64_000),
+            zone=f"host-{index}",
+        )
+    return platform
+
+
+def build_workload(partition_bytes: float):
+    builder = SimWorkflowBuilder()
+    for partition in range(NUM_PARTITIONS):
+        builder.add_initial_datum(f"part/{partition}", partition_bytes)
+        builder.add_task(
+            f"analyze/{partition}",
+            duration=20.0,
+            inputs=[f"part/{partition}"],
+            outputs={f"out/{partition}": 1e6},
+        )
+    return builder
+
+
+def placements(platform):
+    """Spread partitions with a consistent-hash ring, like the paper's
+    storage backends do."""
+    ring = ConsistentHashRing()
+    for node in platform.nodes:
+        ring.add_node(node.name)
+    return {
+        f"part/{p}": ring.primary_for(f"part/{p}") for p in range(NUM_PARTITIONS)
+    }
+
+
+def run_pair(partition_bytes: float):
+    out = {}
+    for label in ("fifo", "locality"):
+        builder = build_workload(partition_bytes)
+        platform = make_cluster()
+        locations = DataLocationService()
+        policy = FifoPolicy() if label == "fifo" else LocalityPolicy(locations)
+        out[label] = SimulatedExecutor(
+            builder.graph,
+            platform,
+            policy=policy,
+            locations=locations,
+            initial_data=builder.initial_data,
+            initial_data_nodes=placements(platform),
+        ).run()
+    return out
+
+
+def run_sweep():
+    return {size: run_pair(size) for size in PARTITION_BYTES}
+
+
+def test_locality_scheduling_removes_transfers(benchmark):
+    results = run_once(benchmark, run_sweep)
+    rows = []
+    for size, pair in results.items():
+        rows.append(
+            (
+                f"{size / 1e9:.1f}GB",
+                pair["fifo"].makespan,
+                pair["locality"].makespan,
+                pair["fifo"].bytes_transferred / 1e9,
+                pair["locality"].bytes_transferred / 1e9,
+            )
+        )
+    print_table(
+        "E4: locality-aware vs FIFO scheduling over persisted partitions",
+        ["partition", "fifo_s", "locality_s", "fifo_moved_GB", "locality_moved_GB"],
+        rows,
+    )
+    for size, pair in results.items():
+        # Locality removes essentially all movement...
+        assert pair["locality"].bytes_transferred < 0.05 * pair["fifo"].bytes_transferred
+        # ...and never loses on makespan.
+        assert pair["locality"].makespan <= pair["fifo"].makespan + 1e-6
+    # The makespan gap grows with partition size (transfer-bound regime).
+    small = results[PARTITION_BYTES[0]]
+    large = results[PARTITION_BYTES[-1]]
+    gap_small = small["fifo"].makespan - small["locality"].makespan
+    gap_large = large["fifo"].makespan - large["locality"].makespan
+    assert gap_large > gap_small

@@ -1,0 +1,90 @@
+"""E6 — fog-to-cloud offloading (claim C5).
+
+Paper: "the framework can be used to instantiate applications on smart
+devices on the fog layer and to offload part of the computation to the
+cloud (fog-to-cloud)."
+
+Workload: a fog device orchestrates growing batches of analytics tasks.
+Compares fog-only execution against threshold-based fog-to-cloud
+offloading.  Expected shape: at tiny loads the fog device suffices (WAN
+round-trips buy nothing); once the device saturates, offloading wins by a
+growing factor — a visible crossover.
+"""
+
+from _common import print_table, run_once
+
+from repro.agents import Agent, LoadThresholdOffload, MessageBus, NeverOffload
+from repro.executor import SimWorkflowBuilder
+from repro.infrastructure import make_fog_platform
+from repro.simulation import SimulationEngine
+
+TASK_COUNTS = [2, 8, 32, 128]
+
+
+def analytics_app(num_tasks: int):
+    builder = SimWorkflowBuilder()
+    for index in range(num_tasks):
+        builder.add_task(
+            f"analyze/{index}", duration=10.0, outputs={f"o/{index}": 1e5}
+        )
+    return builder
+
+
+def run_variant(num_tasks: int, offload: bool):
+    platform = make_fog_platform(num_edge=0, num_fog=2, num_cloud=2)
+    engine = SimulationEngine()
+    bus = MessageBus(platform, engine)
+    agents = {
+        name: Agent(name, name, bus)
+        for name in ("fog-0", "fog-1", "cloud-0", "cloud-1")
+    }
+    orchestrator = agents["fog-0"]
+    policy = (
+        LoadThresholdOffload(threshold=1.0) if offload else NeverOffload()
+    )
+    peers = ["cloud-0", "cloud-1", "fog-1"] if offload else []
+    orchestrator.start_application(
+        analytics_app(num_tasks).graph, policy=policy, peers=peers
+    )
+    engine.run()
+    return orchestrator.report()
+
+
+def run_sweep():
+    return {
+        n: (run_variant(n, offload=False), run_variant(n, offload=True))
+        for n in TASK_COUNTS
+    }
+
+
+def test_offloading_crossover(benchmark):
+    results = run_once(benchmark, run_sweep)
+    rows = []
+    for n, (fog_only, offload) in results.items():
+        offloaded = sum(
+            count
+            for agent, count in offload.executed_by.items()
+            if agent.startswith("cloud")
+        )
+        rows.append(
+            (
+                n,
+                fog_only.makespan,
+                offload.makespan,
+                fog_only.makespan / offload.makespan,
+                offloaded,
+            )
+        )
+    print_table(
+        "E6: fog-only vs fog-to-cloud offloading (paper Fig. 5 architecture)",
+        ["tasks", "fog_only_s", "offload_s", "speedup", "sent_to_cloud"],
+        rows,
+    )
+    for n, (fog_only, offload) in results.items():
+        assert fog_only.completed and offload.completed
+    speedups = [f.makespan / o.makespan for f, o in results.values()]
+    # Under light load offloading buys little (close to parity)...
+    assert speedups[0] < 1.5
+    # ...under heavy load it wins big, and the factor grows with load.
+    assert speedups[-1] > 3.0
+    assert speedups == sorted(speedups)

@@ -1,0 +1,70 @@
+"""E11 — runtime overhead of the real execution backend.
+
+Not a paper table, but the enabling property behind claim C1: a runtime that
+generates "between 1-3 million COMPSs tasks" must add little per-task
+overhead.  Measures, on the real thread-pool backend:
+
+* task submission + execution throughput for trivial tasks;
+* dependency-chain turnaround (graph bookkeeping on the critical path);
+* wait_on latency for an already-finished task.
+"""
+
+import pytest
+
+from repro import Runtime, compss_barrier, compss_wait_on, task
+
+NUM_TASKS = 2_000
+CHAIN_LENGTH = 500
+
+
+@task(returns=1)
+def noop(x):
+    return x
+
+
+@task(returns=1)
+def increment(x):
+    return x + 1
+
+
+def test_throughput_independent_tasks(benchmark):
+    def run():
+        with Runtime(workers=8):
+            for i in range(NUM_TASKS):
+                noop(i)
+            compss_barrier()
+        return NUM_TASKS
+
+    count = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
+    per_second = count / benchmark.stats.stats.mean
+    print(f"\n=== E11a: {per_second:,.0f} trivial tasks/s (submit+schedule+run+complete)")
+    # Thousands of tasks per second, or 1M tasks would take hours of overhead.
+    assert per_second > 1_000
+
+
+def test_dependency_chain_turnaround(benchmark):
+    def run():
+        with Runtime(workers=4):
+            value = 0
+            for _ in range(CHAIN_LENGTH):
+                value = increment(value)
+            return compss_wait_on(value)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
+    assert result == CHAIN_LENGTH
+    per_hop = benchmark.stats.stats.mean / CHAIN_LENGTH
+    print(f"\n=== E11b: {per_hop * 1e6:,.0f} us per dependent-task hop")
+    assert per_hop < 0.01  # < 10 ms per hop
+
+
+def test_wait_on_resolved_future_is_cheap(benchmark):
+    with Runtime(workers=2):
+        future = noop(42)
+        compss_wait_on(future)  # ensure resolved
+
+        def wait():
+            return compss_wait_on(future)
+
+        value = benchmark(wait)
+        assert value == 42
+    assert benchmark.stats.stats.mean < 0.001

@@ -1,0 +1,106 @@
+"""Ablation — scheduler policy comparison on one workload.
+
+DESIGN.md calls out the scheduler policies (S4) as a design choice worth
+ablating: the paper claims the engine implements "various optimizations,
+either to schedule in parallel the workflow ... to improve data locality, to
+be able to exploit heterogeneous computing platforms".  This bench runs one
+transfer-heavy layered DAG under every policy and reports makespan, bytes
+moved, and energy — showing each policy optimizes its own objective.
+"""
+
+from _common import print_table, run_once
+
+from repro.executor import SimulatedExecutor
+from repro.infrastructure import Node, NodeKind, Platform, PowerProfile
+from repro.infrastructure.network import Link, NetworkTopology
+from repro.scheduling import (
+    DataLocationService,
+    EarliestFinishTimePolicy,
+    EnergyAwarePolicy,
+    FifoPolicy,
+    LoadBalancingPolicy,
+    LocalityPolicy,
+)
+from repro.workloads import layered_random_dag
+
+
+def make_platform():
+    """Heterogeneous 6-node cluster on 10 GbE (every node its own zone)."""
+    network = NetworkTopology(default_link=Link(latency_s=1e-3, bandwidth_bps=10e9 / 8))
+    platform = Platform(name="ablation", network=network)
+    for index in range(4):
+        platform.add_node(
+            Node(
+                f"eff-{index}", kind=NodeKind.CLOUD, cores=8, memory_mb=32_000,
+                power=PowerProfile(idle_watts=50.0, busy_watts_per_core=5.0),
+            ),
+            zone=f"host-e{index}",
+        )
+    for index in range(2):
+        platform.add_node(
+            Node(
+                f"hog-{index}", kind=NodeKind.CLOUD, cores=8, memory_mb=32_000,
+                power=PowerProfile(idle_watts=300.0, busy_watts_per_core=20.0),
+            ),
+            zone=f"host-h{index}",
+        )
+    return platform
+
+
+def run_policy(name: str):
+    builder = layered_random_dag(
+        layers=[16, 24, 24, 16], seed=21, duration_median=20.0, datum_bytes=4e9,
+        fan_in=2,
+    )
+    platform = make_platform()
+    locations = DataLocationService()
+    policy = {
+        "fifo": lambda: FifoPolicy(),
+        "load-balancing": lambda: LoadBalancingPolicy(),
+        "locality": lambda: LocalityPolicy(locations),
+        "eft": lambda: EarliestFinishTimePolicy(locations, platform.network),
+        "energy": lambda: EnergyAwarePolicy(),
+    }[name]()
+    return SimulatedExecutor(
+        builder.graph, platform, policy=policy, locations=locations
+    ).run()
+
+
+def run_all():
+    return {
+        name: run_policy(name)
+        for name in ("fifo", "load-balancing", "locality", "eft", "energy")
+    }
+
+
+def test_scheduler_policy_ablation(benchmark):
+    results = run_once(benchmark, run_all)
+    rows = [
+        (
+            name,
+            report.makespan,
+            report.bytes_transferred / 1e9,
+            report.energy_joules / 3.6e6,
+        )
+        for name, report in results.items()
+    ]
+    print_table(
+        "Ablation: scheduling policies on a transfer-heavy layered DAG",
+        ["policy", "makespan_s", "moved_GB", "energy_kWh"],
+        rows,
+    )
+    for report in results.values():
+        assert report.tasks_done == 80
+    # Each policy advances its own objective:
+    assert (
+        results["locality"].bytes_transferred
+        < results["load-balancing"].bytes_transferred
+    )
+    assert results["eft"].bytes_transferred < results["load-balancing"].bytes_transferred
+    assert results["energy"].energy_joules <= min(
+        r.energy_joules for r in results.values()
+    ) * 1.02
+    # And no policy catastrophically loses on makespan (greedy heuristics
+    # may differ by small margins either way on a random DAG).
+    best = min(r.makespan for r in results.values())
+    assert all(r.makespan <= 1.25 * best for r in results.values())

@@ -1,0 +1,97 @@
+"""E10 — the store-vs-recompute trade-off (claim C7, §VI-C).
+
+Paper: "The data-computing metrics will be used to compute the trade-off
+between the cost of storing data generated or re-computing them. While
+storing results has been since now the followed approach, the project will
+propose new unconventional strategies to reduce cost of storage and
+optimize computing."
+
+Workload: a mixed population of lineage-tracked intermediates — some huge
+and cheap to regenerate (simulation snapshots), some small and expensive
+(calibration results) — accessed several times each.  Compares store-all
+(today's practice), recompute-all, and the metric-driven policy.  Expected
+shape: the metric-driven policy dominates both extremes, and its advantage
+over store-all grows as data gets bulkier relative to compute.
+"""
+
+from _common import print_table, run_once
+
+from repro.metrics import (
+    CostModelPolicy,
+    IntermediateDatum,
+    RecomputeAllPolicy,
+    StoreAllPolicy,
+    evaluate_policy,
+)
+from repro.metrics.data_metrics import StorageMedium
+from repro.simulation import DeterministicRandom
+
+NUM_INTERMEDIATES = 400
+
+
+def make_population(bulkiness: float, seed: int = 5):
+    """Generate intermediates; ``bulkiness`` scales size relative to compute."""
+    rng = DeterministicRandom(seed=seed, name="intermediates")
+    data = []
+    for index in range(NUM_INTERMEDIATES):
+        if rng.random() < 0.5:
+            # Simulation snapshots: big, cheap to regenerate.
+            datum = IntermediateDatum(
+                name=f"snapshot-{index}",
+                compute_cost_s=rng.uniform(0.1, 2.0),
+                size_bytes=bulkiness * rng.uniform(1e9, 5e10),
+                accesses=rng.randint(1, 4),
+            )
+        else:
+            # Calibration/analysis results: small, expensive.
+            datum = IntermediateDatum(
+                name=f"calib-{index}",
+                compute_cost_s=rng.uniform(50.0, 500.0),
+                size_bytes=rng.uniform(1e6, 1e8),
+                accesses=rng.randint(1, 6),
+            )
+        data.append(datum)
+    return data
+
+
+def run_sweep():
+    medium = StorageMedium(write_bps=1e9, read_bps=2e9)
+    results = {}
+    for bulkiness in (0.2, 1.0, 5.0):
+        population = make_population(bulkiness)
+        results[bulkiness] = {
+            policy.name: evaluate_policy(policy, population, medium)
+            for policy in (StoreAllPolicy(), RecomputeAllPolicy(), CostModelPolicy())
+        }
+    return results
+
+
+def test_cost_model_dominates_extremes(benchmark):
+    results = run_once(benchmark, run_sweep)
+    rows = []
+    for bulkiness, by_policy in results.items():
+        rows.append(
+            (
+                bulkiness,
+                by_policy["store-all"].total_time_s / 3600,
+                by_policy["recompute-all"].total_time_s / 3600,
+                by_policy["cost-model"].total_time_s / 3600,
+                by_policy["cost-model"].stored_bytes / 1e12,
+            )
+        )
+    print_table(
+        "E10: store-all vs recompute-all vs metric-driven (hours; stored TB)",
+        ["bulkiness", "store_all_h", "recompute_h", "cost_model_h", "stored_TB"],
+        rows,
+    )
+    for bulkiness, by_policy in results.items():
+        smart = by_policy["cost-model"].total_time_s
+        assert smart <= by_policy["store-all"].total_time_s
+        assert smart <= by_policy["recompute-all"].total_time_s
+    # The gain over today's store-all practice grows with data bulkiness.
+    gains = [
+        by_policy["store-all"].total_time_s / by_policy["cost-model"].total_time_s
+        for by_policy in results.values()
+    ]
+    assert gains == sorted(gains)
+    assert gains[-1] > 1.5

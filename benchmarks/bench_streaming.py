@@ -1,0 +1,86 @@
+"""E14 — streaming results out vs offline batch (§I/§III).
+
+Paper: "edge devices like sensors or scientific instruments ... will stream
+continuous flows of data and similarly the scientists expect results to be
+streamed out for monitoring, steering and visualization of the scientific
+results to enable interactivity."
+
+Workload: a sensor campaign of growing length; a windowed stream processor
+publishes per-window results during the run, the batch baseline processes
+everything at the end.  Expected shape: streaming's result latency is flat
+(window-bounded) while batch latency grows linearly with campaign length —
+the interactivity argument in one table.
+"""
+
+from _common import print_table, run_once
+
+from repro.infrastructure import make_fog_platform
+from repro.simulation import SimulationEngine
+from repro.streams import BatchCollector, DataStream, SensorSource, WindowedProcessor
+
+CAMPAIGNS = [60.0, 300.0, 1800.0]
+WINDOW_S = 5.0
+
+
+def run_streaming(campaign_s: float):
+    engine = SimulationEngine()
+    platform = make_fog_platform(num_edge=0, num_fog=1, num_cloud=1)
+    readings, results = DataStream("readings"), DataStream("results")
+    SensorSource(engine, readings, period_s=1.0, until=campaign_s).start()
+    processor = WindowedProcessor(
+        engine, platform, readings, results, "fog-0", window_s=WINDOW_S,
+        compute_fn=lambda els: sum(e.value for e in els) / len(els),
+    )
+    processor.start()
+    engine.at(campaign_s + 1e-6, readings.close)
+    engine.run()
+    return processor
+
+
+def run_batch(campaign_s: float):
+    engine = SimulationEngine()
+    platform = make_fog_platform(num_edge=0, num_fog=1, num_cloud=1)
+    readings = DataStream("readings")
+    SensorSource(engine, readings, period_s=1.0, until=campaign_s).start()
+    batch = BatchCollector(
+        engine, platform, readings, "cloud-0",
+        compute_fn=lambda els: sum(e.value for e in els) / len(els),
+    )
+    batch.process_at(campaign_s + 1e-6)
+    engine.run()
+    return batch
+
+
+def run_all():
+    return {c: (run_streaming(c), run_batch(c)) for c in CAMPAIGNS}
+
+
+def test_streaming_latency_flat_batch_latency_grows(benchmark):
+    results = run_once(benchmark, run_all)
+    rows = []
+    for campaign, (processor, batch) in results.items():
+        rows.append(
+            (
+                f"{campaign:.0f}s",
+                processor.mean_latency,
+                processor.max_latency,
+                batch.result_latency,
+                sum(r.element_count for r in processor.results),
+            )
+        )
+    print_table(
+        "E14: result freshness — streaming windows vs end-of-campaign batch",
+        ["campaign", "stream_mean_s", "stream_max_s", "batch_latency_s", "elements"],
+        rows,
+    )
+    stream_max = [p.max_latency for p, _ in results.values()]
+    batch_latency = [b.result_latency for _, b in results.values()]
+    # Streaming latency is window-bounded and flat across campaign lengths...
+    assert all(latency <= WINDOW_S for latency in stream_max)
+    assert max(stream_max) - min(stream_max) < 1.0
+    # ...batch latency grows with the campaign.
+    assert batch_latency == sorted(batch_latency)
+    assert batch_latency[-1] > 100 * max(stream_max)
+    # Both process every element.
+    for campaign, (processor, batch) in results.items():
+        assert sum(r.element_count for r in processor.results) == batch.result.element_count

@@ -1,0 +1,124 @@
+"""GUIDANCE-style GWAS workflow (paper §VI-A, claims C1/C2).
+
+Run:  python examples/gwas_guidance.py
+
+Part 1 executes a miniature genome-wide association pipeline *for real* on
+the thread-pool runtime: QC -> phasing -> imputation -> association per
+chunk, then per-chromosome merges, with imputation memory constraints
+evaluated dynamically per invocation (the COMPSs feature the paper credits
+with halving GUIDANCE's execution time).
+
+Part 2 reruns the full-scale synthetic workload on a simulated MareNostrum
+cluster and prints the static-vs-dynamic memory-management comparison.
+"""
+
+import random
+import time
+
+from repro import Runtime, compss_wait_on, constraint, task
+from repro.executor import SimulatedExecutor
+from repro.infrastructure import make_hpc_cluster
+from repro.workloads import GuidanceConfig, build_guidance_workflow
+
+
+# --------------------------------------------------------------- real tasks
+
+
+@task(returns=1)
+def quality_control(chunk):
+    """Filter out low-quality variants."""
+    return [v for v in chunk if v["quality"] > 0.3]
+
+
+@task(returns=1)
+def phase(chunk):
+    """Haplotype phasing (simulated by tagging)."""
+    return [{**v, "phased": True} for v in chunk]
+
+
+@constraint(memory_mb=lambda chunk, chunk_size: 64 + chunk_size // 4)
+@task(returns=1)
+def impute(chunk, chunk_size):
+    """Genotype imputation — memory demand depends on the chunk's size.
+
+    The constraint is a callable evaluated per invocation; it must depend on
+    concrete arguments (``chunk_size``), since ``chunk`` is a future here.
+    """
+    imputed = list(chunk)
+    for variant in chunk:
+        if variant["quality"] < 0.6:
+            imputed.append({**variant, "imputed": True})
+    return imputed
+
+
+@task(returns=1)
+def association(chunk, phenotype_seed):
+    """Association statistics per variant chunk."""
+    rng = random.Random(phenotype_seed)
+    return [(v["id"], rng.random()) for v in chunk]
+
+
+@task(returns=1)
+def merge(results):
+    """Merge the chunk-level hits of one chromosome."""
+    merged = [hit for chunk in results for hit in chunk]
+    return sorted(merged, key=lambda pair: pair[1])[:10]
+
+
+def make_chunk(chromosome, index, size=400):
+    rng = random.Random(chromosome * 1000 + index)
+    return [
+        {"id": f"chr{chromosome}:{index}:{v}", "quality": rng.random()}
+        for v in range(size)
+    ]
+
+
+def run_real_pipeline(chromosomes=4, chunks=6):
+    print(f"== Part 1: real execution ({chromosomes} chromosomes x {chunks} chunks)")
+    started = time.perf_counter()
+    with Runtime(workers=8) as runtime:
+        top_hits = {}
+        for chromosome in range(chromosomes):
+            results = []
+            for index in range(chunks):
+                chunk = make_chunk(chromosome, index)
+                filtered = quality_control(chunk)
+                phased = phase(filtered)
+                imputed = impute(phased, chunk_size=len(chunk))
+                results.append(association(imputed, phenotype_seed=index))
+            top_hits[chromosome] = merge(results)
+        resolved = {c: compss_wait_on(f) for c, f in top_hits.items()}
+        stats = runtime.statistics()
+    print(f"   tasks executed: {stats['tasks_done']}")
+    print(f"   wall time     : {time.perf_counter() - started:.2f}s")
+    for chromosome, hits in resolved.items():
+        best_id, best_p = hits[0]
+        print(f"   chr{chromosome}: top hit {best_id} (p={best_p:.4f})")
+    print()
+
+
+def run_simulated_comparison():
+    print("== Part 2: simulated MareNostrum — static vs dynamic memory constraints")
+    nodes = 8
+    results = {}
+    for mode in ("static", "dynamic"):
+        workload = build_guidance_workflow(
+            GuidanceConfig(chromosomes=8, chunks_per_chromosome=16, memory_mode=mode)
+        )
+        platform = make_hpc_cluster(nodes)
+        report = SimulatedExecutor(
+            workload.graph, platform, initial_data=workload.initial_data
+        ).run()
+        results[mode] = report
+        print(
+            f"   {mode:8s}: makespan={report.makespan / 3600:.2f}h "
+            f"tasks={report.tasks_done}"
+        )
+    reduction = 1 - results["dynamic"].makespan / results["static"].makespan
+    print(f"   dynamic constraints reduce execution time by {reduction:.0%}")
+    print("   (paper reports ~50% for GUIDANCE on MareNostrum)")
+
+
+if __name__ == "__main__":
+    run_real_pipeline()
+    run_simulated_comparison()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Kept so the package installs in offline environments that lack the ``wheel``
+module (``pip install -e . --no-build-isolation`` needs it; ``python setup.py
+develop`` does not).  All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

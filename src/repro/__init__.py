@@ -1,0 +1,81 @@
+"""repro: a workflow environment for advanced cyberinfrastructure platforms.
+
+A from-scratch reproduction of the system described in R. M. Badia et al.,
+*Workflow environments for advanced cyberinfrastructure platforms* (ICDCS
+2019): a PyCOMPSs/COMPSs-like task-based programming model with an
+intelligent runtime, resource constraints, persistent-storage integration
+(Hecuba/dataClay analogues), fog-to-cloud agents, and a dislib-like
+distributed ML library — all executable for real on a thread pool or at
+scale on a deterministic discrete-event simulation of the computing
+continuum.
+
+Quickstart::
+
+    from repro import task, constraint, compss_wait_on, Runtime
+
+    @constraint(cores=1)
+    @task(returns=1)
+    def square(x):
+        return x * x
+
+    with Runtime():
+        partial = [square(i) for i in range(10)]
+        print(sum(compss_wait_on(partial)))
+"""
+
+from repro.core import (
+    IN,
+    OUT,
+    INOUT,
+    FILE_IN,
+    FILE_OUT,
+    FILE_INOUT,
+    Direction,
+    Parameter,
+    Future,
+    ReproError,
+    TaskFailedError,
+    RuntimeNotStartedError,
+    ConstraintUnsatisfiableError,
+    ResourceConstraints,
+    constraint,
+    task,
+    Runtime,
+    compss_wait_on,
+    compss_barrier,
+    compss_open,
+    compss_delete_object,
+    start_runtime,
+    stop_runtime,
+    get_runtime,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "IN",
+    "OUT",
+    "INOUT",
+    "FILE_IN",
+    "FILE_OUT",
+    "FILE_INOUT",
+    "Direction",
+    "Parameter",
+    "Future",
+    "ReproError",
+    "TaskFailedError",
+    "RuntimeNotStartedError",
+    "ConstraintUnsatisfiableError",
+    "ResourceConstraints",
+    "constraint",
+    "task",
+    "Runtime",
+    "compss_wait_on",
+    "compss_barrier",
+    "compss_open",
+    "compss_delete_object",
+    "start_runtime",
+    "stop_runtime",
+    "get_runtime",
+    "__version__",
+]

@@ -1,0 +1,41 @@
+"""COMPSs Agents: the fog-to-cloud runtime of §VI-B (DESIGN.md S11).
+
+"The runtime is deployed as a microservice ... Each Agent is independent of
+the other and can execute the same application code acting as a worker
+whenever needed. ... the runtime interacts with a remote agent using the
+same operation of the REST interface."  (§VI-B, Fig. 6)
+
+The Docker/REST substitution (DESIGN.md §2) is an in-process
+:class:`MessageBus` that delivers REST-shaped messages between
+:class:`Agent` objects in virtual time, charging the platform's network
+model for payload movement.  Agents orchestrate profiled task graphs,
+offload tasks fog→cloud (and cloud→fog) under an
+:class:`OffloadingPolicy`, persist task data through the storage runtime,
+and recover work lost to agent failures from those persisted copies
+(claims C5, E6, E7, E13).
+"""
+
+from repro.agents.messages import Message, Op
+from repro.agents.bus import MessageBus
+from repro.agents.offloading import (
+    OffloadingPolicy,
+    NeverOffload,
+    AlwaysOffload,
+    LoadThresholdOffload,
+)
+from repro.agents.agent import Agent, AgentReport
+from repro.agents.services import ServiceSpec, publish_application_service
+
+__all__ = [
+    "ServiceSpec",
+    "publish_application_service",
+    "Message",
+    "Op",
+    "MessageBus",
+    "OffloadingPolicy",
+    "NeverOffload",
+    "AlwaysOffload",
+    "LoadThresholdOffload",
+    "Agent",
+    "AgentReport",
+]

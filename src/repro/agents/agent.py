@@ -1,0 +1,479 @@
+"""The COMPSs Agent: orchestrator + worker microservice (Fig. 6).
+
+Every agent can both *orchestrate* an application (own its task graph, run
+the Access-Processor/Task-Scheduler pipeline, decide offloading) and *work*
+for peers (accept EXECUTE_TASK requests against its local resources) — "Each
+Agent is independent of the other and can execute the same application code
+acting as a worker whenever needed".
+
+Data model (mirrors the paper's dataClay integration, §VI-B):
+
+* without persistence, a task's outputs live only on the agent that ran it;
+  consumers dispatched elsewhere ship the bytes from that agent, and an agent
+  crash loses everything it produced;
+* with a persistence store configured, "whenever a task is submitted to a
+  remote agent, the COMPSs runtime persists any not-yet-persisted object
+  passed in as a parameter", and every produced value is stored "so any
+  other agent ... can use that value for succeeding executions" — which is
+  what makes crash recovery possible (claim C5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.agents.bus import MessageBus
+from repro.agents.messages import Message, Op
+from repro.agents.offloading import NeverOffload, OffloadingPolicy, PeerInfo
+from repro.agents.services import ServiceMixin
+from repro.core.exceptions import AgentError
+from repro.core.graph import TaskGraph, TaskInstance, TaskState
+
+_CONTROL_BYTES = 512.0
+
+
+@dataclass
+class AgentReport:
+    """Outcome of an orchestrated application."""
+
+    completed: bool
+    failed: bool
+    makespan: float
+    tasks_done: int
+    tasks_recovered: int
+    executed_by: Dict[str, int] = field(default_factory=dict)
+    messages_sent: int = 0
+
+
+@dataclass
+class _InFlight:
+    task: TaskInstance
+    executor: str
+
+
+@dataclass
+class _QueuedWork:
+    """A task accepted by a worker agent, waiting for or holding cores."""
+
+    task_id: int
+    origin: str
+    cores: int
+    duration_s: float
+    stage_in_s: float
+    output_sizes: Dict[str, float]
+    running: bool = False
+
+
+class Agent(ServiceMixin):
+    """One microservice runtime instance pinned to a platform node."""
+
+    def __init__(
+        self,
+        name: str,
+        node_name: str,
+        bus: MessageBus,
+        persistence_store_node: Optional[str] = None,
+    ) -> None:
+        self.name = name
+        self.node_name = node_name
+        self.bus = bus
+        self.platform = bus.platform
+        self.engine = bus.engine
+        node = self.platform.node(node_name)
+        self.cores = node.cores
+        self.speed_factor = node.speed_factor
+        self.kind = node.kind.value
+        self.persistence_store_node = persistence_store_node
+        bus.register(self)
+
+        # Worker state.
+        self._free_cores = self.cores
+        self._queue: List[_QueuedWork] = []
+        self.tasks_executed = 0
+
+        # Orchestrator state.
+        self.graph: Optional[TaskGraph] = None
+        self._peers: Dict[str, PeerInfo] = {}
+        self._policy: OffloadingPolicy = NeverOffload()
+        self._in_flight: Dict[int, _InFlight] = {}
+        self._local_outstanding = 0
+        self._datum_home: Dict[str, str] = {}
+        self._datum_size: Dict[str, float] = {}
+        self._datum_persisted: Set[str] = set()
+        self.app_start: Optional[float] = None
+        self.app_end: Optional[float] = None
+        self.app_failed = False
+        self.tasks_recovered = 0
+        self.executed_by: Dict[str, int] = {}
+        self._init_services()
+
+    # ------------------------------------------------------------- REST API
+
+    def handle(self, message: Message) -> None:
+        """Entry point for every delivered message (the REST dispatcher)."""
+        handler = {
+            Op.START_APPLICATION: self._on_start_application,
+            Op.EXECUTE_TASK: self._on_execute_task,
+            Op.TASK_DONE: self._on_task_done,
+            Op.ADD_RESOURCES: self._on_add_resources,
+            Op.REMOVE_RESOURCES: self._on_remove_resources,
+            Op.QUERY_STATUS: self._on_query_status,
+            Op.STATUS_REPLY: lambda m: None,
+            Op.AGENT_DOWN: self._on_agent_down,
+            Op.TASK_REJECTED: lambda m: None,
+            Op.SERVICE_REQUEST: self._on_service_request,
+            Op.SERVICE_RESPONSE: self._on_service_response,
+        }.get(message.op)
+        if handler is None:
+            raise AgentError(f"agent {self.name!r}: unhandled op {message.op}")
+        handler(message)
+
+    # --------------------------------------------------------- orchestration
+
+    def start_application(
+        self,
+        graph: TaskGraph,
+        policy: Optional[OffloadingPolicy] = None,
+        peers: Optional[List[str]] = None,
+        initial_data: Optional[Dict[str, float]] = None,
+    ) -> None:
+        """Begin orchestrating ``graph`` (the REST Start Application op)."""
+        if self.graph is not None:
+            raise AgentError(f"agent {self.name!r} is already orchestrating")
+        self.graph = graph
+        if policy is not None:
+            self._policy = policy
+        for peer_name in peers or []:
+            peer = self.bus.agent(peer_name)
+            self._peers[peer_name] = PeerInfo(
+                name=peer_name,
+                cores=peer.cores,
+                speed_factor=peer.speed_factor,
+                kind=peer.kind,
+                outstanding=0,
+            )
+        for datum, size in (initial_data or {}).items():
+            self._datum_home[datum] = self.name
+            self._datum_size[datum] = size
+            if self.persistence_store_node is not None:
+                self._datum_persisted.add(datum)
+        self.app_start = self.engine.now
+        self._dispatch()
+
+    def _on_start_application(self, message: Message) -> None:
+        self.start_application(
+            graph=message.payload["graph"],
+            policy=message.payload.get("policy"),
+            peers=message.payload.get("peers"),
+            initial_data=message.payload.get("initial_data"),
+        )
+
+    def _dispatch(self) -> None:
+        if self.graph is None or self.app_failed:
+            return
+        local_info = PeerInfo(
+            name=self.name,
+            cores=self.cores,
+            speed_factor=self.speed_factor,
+            kind=self.kind,
+            outstanding=self._local_outstanding,
+        )
+        for task in list(self.graph.ready_tasks()):
+            target = self._policy.choose(task, local_info, list(self._peers.values()))
+            self._send_task(task, target)
+            if target == self.name:
+                self._local_outstanding += 1
+                local_info.outstanding = self._local_outstanding
+            else:
+                self._peers[target].outstanding += 1
+
+    def _send_task(self, task: TaskInstance, target: str) -> None:
+        assert self.graph is not None
+        self.graph.mark_running(task.task_id, target, now=self.engine.now)
+        task.assigned_nodes = [target]
+        self._in_flight[task.task_id] = _InFlight(task=task, executor=target)
+
+        profile = task.profile
+        input_specs = []
+        shipped_bytes = 0.0
+        for datum in task.reads:
+            size = self._datum_size.get(datum, 0.0)
+            persisted = datum in self._datum_persisted
+            home = self._datum_home.get(datum, self.name)
+            input_specs.append(
+                {"datum": datum, "size": size, "persisted": persisted, "home": home}
+            )
+            # Non-persisted inputs homed at the orchestrator travel with the
+            # request; inputs homed elsewhere are fetched by the worker.
+            if not persisted and home == self.name and target != self.name:
+                shipped_bytes += size
+
+        payload = {
+            "task_id": task.task_id,
+            "origin": self.name,
+            "cores": task.requirements.cores,
+            "duration_s": profile.duration_s if profile else 0.0,
+            "inputs": input_specs,
+            "outputs": dict(profile.output_sizes) if profile else {},
+        }
+        self.bus.send(
+            Message(
+                op=Op.EXECUTE_TASK,
+                sender=self.name,
+                recipient=target,
+                payload=payload,
+                payload_bytes=_CONTROL_BYTES + shipped_bytes,
+            )
+        )
+
+    def _on_task_done(self, message: Message) -> None:
+        if self.graph is None:
+            return
+        task_id = message.payload["task_id"]
+        executor = message.sender
+        flight = self._in_flight.pop(task_id, None)
+        if flight is None:
+            return  # duplicate completion after recovery re-dispatch
+        if executor == self.name:
+            self._local_outstanding = max(0, self._local_outstanding - 1)
+        elif executor in self._peers:
+            self._peers[executor].outstanding = max(
+                0, self._peers[executor].outstanding - 1
+            )
+        for datum, size in message.payload.get("outputs", {}).items():
+            self._datum_home[datum] = executor
+            self._datum_size[datum] = size
+            if message.payload.get("persisted", False):
+                self._datum_persisted.add(datum)
+        self.executed_by[executor] = self.executed_by.get(executor, 0) + 1
+        self.graph.mark_done(task_id, now=self.engine.now)
+        if self.graph.finished:
+            self.app_end = self.engine.now
+        else:
+            self._dispatch()
+
+    def _on_agent_down(self, message: Message) -> None:
+        dead = message.payload["agent"]
+        self._peers.pop(dead, None)
+        if self.graph is None:
+            return
+        victims = [f for f in self._in_flight.values() if f.executor == dead]
+        lost_data = {
+            datum
+            for datum, home in self._datum_home.items()
+            if home == dead and datum not in self._datum_persisted
+        }
+        for flight in victims:
+            del self._in_flight[flight.task.task_id]
+            task = flight.task
+            if any(d in lost_data for d in task.reads):
+                self._fail_application(
+                    f"task {task.label} inputs lost with agent {dead}"
+                )
+                return
+            self.graph.requeue(task.task_id)
+            self.tasks_recovered += 1
+        # Data produced by the dead agent that future tasks need:
+        for task in self.graph.tasks:
+            if task.state in (TaskState.PENDING, TaskState.READY):
+                if any(d in lost_data for d in task.reads):
+                    self._fail_application(
+                        f"task {task.label} inputs lost with agent {dead}"
+                    )
+                    return
+        self._dispatch()
+
+    def _fail_application(self, reason: str) -> None:
+        self.app_failed = True
+        self.app_end = self.engine.now
+        self.failure_reason = reason
+
+    # --------------------------------------------------------------- worker
+
+    def _on_execute_task(self, message: Message) -> None:
+        payload = message.payload
+        stage_in = self._stage_in_time(payload["inputs"], payload["origin"])
+        work = _QueuedWork(
+            task_id=payload["task_id"],
+            origin=payload["origin"],
+            cores=min(payload["cores"], self.cores),
+            duration_s=payload["duration_s"],
+            stage_in_s=stage_in,
+            output_sizes=dict(payload["outputs"]),
+        )
+        self._queue.append(work)
+        self._pump_queue()
+
+    def _stage_in_time(self, inputs: List[dict], origin: str) -> float:
+        """Parallel-fetch model over inputs not already local to this agent."""
+        worst = 0.0
+        network = self.platform.network
+        for spec in inputs:
+            datum, size, persisted, home = (
+                spec["datum"],
+                spec["size"],
+                spec["persisted"],
+                spec["home"],
+            )
+            if size <= 0:
+                continue
+            if persisted and self.persistence_store_node is not None:
+                src = self.persistence_store_node
+            elif home == self.name:
+                continue
+            elif home == origin:
+                continue  # travelled with the request; bus already charged it
+            else:
+                if not self.bus.is_alive(home):
+                    continue  # unreachable; orchestrator handles the failure
+                src = self.bus.agent(home).node_name
+            if src == self.node_name:
+                continue
+            duration = network.transfer_time(src, self.node_name, size)
+            network.record_transfer(
+                src, self.node_name, size, self.engine.now, duration, datum=datum
+            )
+            worst = max(worst, duration)
+        return worst
+
+    def _pump_queue(self) -> None:
+        for work in self._queue:
+            if work.running:
+                continue
+            if work.cores <= self._free_cores:
+                work.running = True
+                self._free_cores -= work.cores
+                total = work.stage_in_s + work.duration_s / self.speed_factor
+                persist_delay = self._persist_time(work.output_sizes)
+                self.engine.after(
+                    total + persist_delay,
+                    lambda w=work: self._finish_work(w),
+                    label=f"{self.name}-exec-{work.task_id}",
+                )
+
+    def _drain_battery(self, work: _QueuedWork) -> bool:
+        """Charge the device battery for the work done; True when depleted."""
+        node = self.platform.node(self.node_name)
+        if node.battery_joules is None:
+            return False
+        execution_seconds = work.stage_in_s + work.duration_s / self.speed_factor
+        drained = node.power.power(work.cores) * execution_seconds
+        node.battery_joules -= drained
+        return node.battery_joules <= 0
+
+    def _persist_time(self, output_sizes: Dict[str, float]) -> float:
+        if self.persistence_store_node is None or not output_sizes:
+            return 0.0
+        network = self.platform.network
+        return max(
+            network.transfer_time(self.node_name, self.persistence_store_node, size)
+            for size in output_sizes.values()
+        )
+
+    def _finish_work(self, work: _QueuedWork) -> None:
+        if work not in self._queue:
+            return  # agent was killed; stale completion
+        self._queue.remove(work)
+        self._free_cores += work.cores
+        self.tasks_executed += 1
+        if self._drain_battery(work):
+            # Battery died finishing this task: the result is lost with the
+            # device — the paper's "disappeared for low battery" scenario.
+            self.bus.kill_now(self.name)
+            return
+        on_complete = getattr(work, "on_complete", None)
+        if on_complete is not None:
+            # Service work replies through its own completion, not TASK_DONE.
+            on_complete()
+            self._pump_queue()
+            return
+        self.bus.send(
+            Message(
+                op=Op.TASK_DONE,
+                sender=self.name,
+                recipient=work.origin,
+                payload={
+                    "task_id": work.task_id,
+                    "outputs": dict(work.output_sizes),
+                    "persisted": self.persistence_store_node is not None,
+                },
+            )
+        )
+        self._pump_queue()
+
+    # ------------------------------------------------------------- resources
+
+    def _on_add_resources(self, message: Message) -> None:
+        extra = int(message.payload.get("cores", 0))
+        if extra <= 0:
+            raise AgentError("ADD_RESOURCES requires a positive core count")
+        self.cores += extra
+        self._free_cores += extra
+        self._pump_queue()
+
+    def _on_remove_resources(self, message: Message) -> None:
+        fewer = int(message.payload.get("cores", 0))
+        removable = min(fewer, self._free_cores, self.cores - 1)
+        self.cores -= removable
+        self._free_cores -= removable
+
+    def _on_query_status(self, message: Message) -> None:
+        self.bus.send(
+            Message(
+                op=Op.STATUS_REPLY,
+                sender=self.name,
+                recipient=message.sender,
+                payload={
+                    "queued": len(self._queue),
+                    "free_cores": self._free_cores,
+                    "executed": self.tasks_executed,
+                },
+            )
+        )
+
+    def reset_orchestration(self) -> None:
+        """Clear finished-application state so a new one can start.
+
+        Required by application-as-a-service hosting: each request
+        orchestrates a fresh graph on the same agent.
+        """
+        if self.graph is not None and not self.graph.finished and not self.app_failed:
+            raise AgentError(
+                f"agent {self.name!r} is still orchestrating; cannot reset"
+            )
+        self.graph = None
+        self._peers = {}
+        self._in_flight = {}
+        self._local_outstanding = 0
+        self.app_start = None
+        self.app_end = None
+        self.app_failed = False
+
+    # -------------------------------------------------------------- failures
+
+    def on_killed(self) -> None:
+        """Bus callback: this agent crashed — drop all local state."""
+        self._queue.clear()
+        self._free_cores = self.cores
+        if self.graph is not None and not self.app_failed and self.app_end is None:
+            self._fail_application("orchestrator agent died")
+
+    # --------------------------------------------------------------- report
+
+    def report(self) -> AgentReport:
+        """Summary of the orchestrated application (orchestrator only)."""
+        if self.graph is None:
+            raise AgentError(f"agent {self.name!r} never orchestrated an application")
+        makespan = 0.0
+        if self.app_start is not None and self.app_end is not None:
+            makespan = self.app_end - self.app_start
+        return AgentReport(
+            completed=self.graph.finished and not self.app_failed,
+            failed=self.app_failed,
+            makespan=makespan,
+            tasks_done=self.graph.completed_count,
+            tasks_recovered=self.tasks_recovered,
+            executed_by=dict(self.executed_by),
+            messages_sent=self.bus.messages_sent,
+        )

@@ -1,0 +1,129 @@
+"""The message bus: in-process substitute for the agents' REST transport.
+
+Delivery takes the virtual time the platform's network model charges for the
+message's payload between the two agents' nodes.  The bus doubles as the
+failure detector: killing an agent broadcasts ``AGENT_DOWN`` notices to the
+survivors (a perfect failure detector — the strongest assumption, stated
+explicitly in DESIGN.md's substitution table).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from repro.agents.messages import Message, Op
+from repro.core.exceptions import AgentError
+from repro.infrastructure.platform import Platform
+from repro.simulation.engine import SimulationEngine
+
+if TYPE_CHECKING:
+    from repro.agents.agent import Agent
+
+
+class MessageBus:
+    """Registry + virtual-time delivery between agents."""
+
+    def __init__(self, platform: Platform, engine: SimulationEngine) -> None:
+        self.platform = platform
+        self.engine = engine
+        self._agents: Dict[str, "Agent"] = {}
+        self._alive: Dict[str, bool] = {}
+        self._services: Dict[str, str] = {}  # service name -> provider agent
+        self.messages_sent = 0
+        self.bytes_sent = 0.0
+        self.dropped_messages: List[Message] = []
+
+    def register(self, agent: "Agent") -> None:
+        if agent.name in self._agents:
+            raise AgentError(f"agent {agent.name!r} already registered")
+        self._agents[agent.name] = agent
+        self._alive[agent.name] = True
+
+    def agent(self, name: str) -> "Agent":
+        try:
+            return self._agents[name]
+        except KeyError:
+            raise AgentError(f"unknown agent {name!r}") from None
+
+    def is_alive(self, name: str) -> bool:
+        return self._alive.get(name, False)
+
+    @property
+    def alive_agents(self) -> List[str]:
+        return [name for name, alive in self._alive.items() if alive]
+
+    def register_service(self, service_name: str, agent_name: str) -> None:
+        """Record a service endpoint (the bus is also the service registry)."""
+        if service_name in self._services:
+            raise AgentError(f"service {service_name!r} already registered")
+        self._services[service_name] = agent_name
+
+    def find_service(self, service_name: str) -> Optional[str]:
+        """Provider agent for a service, or None if unknown or dead."""
+        provider = self._services.get(service_name)
+        if provider is None or not self._alive.get(provider, False):
+            return None
+        return provider
+
+    def send(self, message: Message) -> None:
+        """Deliver a message after the network-model transfer time.
+
+        Messages to dead agents are dropped (the sender learns about the
+        death through the AGENT_DOWN broadcast, like a connection refusing).
+        """
+        if message.sender not in self._agents:
+            raise AgentError(f"unknown sender {message.sender!r}")
+        if message.recipient not in self._agents:
+            raise AgentError(f"unknown recipient {message.recipient!r}")
+        self.messages_sent += 1
+        self.bytes_sent += message.payload_bytes
+        src_node = self._agents[message.sender].node_name
+        dst_node = self._agents[message.recipient].node_name
+        delay = self.platform.network.transfer_time(
+            src_node, dst_node, message.payload_bytes
+        )
+        self.engine.after(
+            delay,
+            lambda: self._deliver(message),
+            label=f"deliver-{message.op.name}-{message.message_id}",
+        )
+
+    def _deliver(self, message: Message) -> None:
+        if not self._alive.get(message.recipient, False):
+            self.dropped_messages.append(message)
+            return
+        if not self._alive.get(message.sender, False) and message.op is not Op.AGENT_DOWN:
+            # Message from an agent that died while it was in flight still
+            # arrives (it was already on the wire).
+            pass
+        self._agents[message.recipient].handle(message)
+
+    def kill_agent(self, name: str, at: float) -> None:
+        """Schedule an agent crash: it stops processing and peers are told."""
+        self.engine.at(at, lambda: self._kill(name), priority=-10, label=f"kill-{name}")
+
+    def kill_now(self, name: str) -> None:
+        """Immediate agent death (battery depletion, self-detected faults)."""
+        self._kill(name)
+
+    def _kill(self, name: str) -> None:
+        if not self._alive.get(name, False):
+            return
+        self._alive[name] = False
+        agent = self._agents[name]
+        agent.on_killed()
+        if self.platform.has_node(agent.node_name):
+            self.platform.fail_node(agent.node_name, at=self.engine.now)
+        for other_name, other in self._agents.items():
+            if other_name == name or not self._alive[other_name]:
+                continue
+            notice = Message(
+                op=Op.AGENT_DOWN,
+                sender=name,
+                recipient=other_name,
+                payload={"agent": name},
+            )
+            # Failure detection latency: one control-message hop.
+            self.engine.after(
+                0.1, lambda m=notice: self._deliver(m), label=f"detect-{name}"
+            )

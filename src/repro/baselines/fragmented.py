@@ -1,0 +1,104 @@
+"""The fragmented-pipeline baseline: how workflows run *without* the paper's
+holistic environment.
+
+Current practice, per §I: each phase (pre-processing, HPC simulation,
+analytics) is a separate component, usually a separate batch submission, so
+
+* a **global barrier** separates consecutive stages — no task of stage *k+1*
+  starts until every task of stage *k* finished (cross-stage asynchrony is
+  impossible across toolchain boundaries);
+* resources are **reserved for the worst case** per stage, because a shell
+  script cannot express per-invocation memory demands.
+
+Both effects are what the COMPSs features (dynamic graphs + dynamic
+constraints) remove; the E2/E3 benchmarks quantify each.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.executor.simulated import SimulatedExecutor, SimulationReport
+from repro.executor.workflow_builder import SimWorkflowBuilder
+from repro.infrastructure.platform import Platform
+from repro.scheduling.policies import SchedulingPolicy
+
+
+@dataclass
+class FragmentedPipeline:
+    """A staged workload description shared by both execution models.
+
+    ``stages`` is a list of stages, each a list of ``SimWorkflowBuilder
+    .add_task`` keyword dicts (labels, durations, data names, resources).
+    """
+
+    stages: Sequence[Sequence[Dict]]
+    initial_data: Optional[Dict[str, float]] = None
+
+    def _prepare(self, builder: SimWorkflowBuilder) -> None:
+        for name, size in (self.initial_data or {}).items():
+            builder.add_initial_datum(name, size)
+
+    def build_fragmented(self, worst_case_memory_mb: Optional[int] = None) -> SimWorkflowBuilder:
+        """Stage-barrier DAG, optionally with worst-case memory reservation."""
+        stages = self.stages
+        if worst_case_memory_mb is not None:
+            stages = [
+                [
+                    {**spec, "memory_mb": max(spec.get("memory_mb", 0), worst_case_memory_mb)}
+                    for spec in stage
+                ]
+                for stage in stages
+            ]
+        builder = SimWorkflowBuilder()
+        self._prepare(builder)
+        _fill(builder, stages, barriers=True)
+        return builder
+
+    def build_holistic(self) -> SimWorkflowBuilder:
+        """Pure data-dependency DAG (the COMPSs single-flow model)."""
+        builder = SimWorkflowBuilder()
+        self._prepare(builder)
+        _fill(builder, self.stages, barriers=False)
+        return builder
+
+
+def _fill(builder: SimWorkflowBuilder, stages: Sequence[Sequence[Dict]], barriers: bool) -> None:
+    previous_ids: List[int] = []
+    for stage in stages:
+        current_ids: List[int] = []
+        for spec in stage:
+            kwargs = dict(spec)
+            if barriers:
+                extra = list(kwargs.get("depends_on", ()))
+                extra.extend(previous_ids)
+                kwargs["depends_on"] = extra
+            instance = builder.add_task(**kwargs)
+            current_ids.append(instance.task_id)
+        previous_ids = current_ids
+
+
+def run_fragmented(
+    pipeline: FragmentedPipeline,
+    platform: Platform,
+    policy: Optional[SchedulingPolicy] = None,
+    worst_case_memory_mb: Optional[int] = None,
+) -> SimulationReport:
+    """Simulate the workload under the fragmented (baseline) model."""
+    builder = pipeline.build_fragmented(worst_case_memory_mb=worst_case_memory_mb)
+    return SimulatedExecutor(
+        builder.graph, platform, policy=policy, initial_data=builder.initial_data
+    ).run()
+
+
+def run_holistic(
+    pipeline: FragmentedPipeline,
+    platform: Platform,
+    policy: Optional[SchedulingPolicy] = None,
+) -> SimulationReport:
+    """Simulate the same workload under the holistic (COMPSs-like) model."""
+    builder = pipeline.build_holistic()
+    return SimulatedExecutor(
+        builder.graph, platform, policy=policy, initial_data=builder.initial_data
+    ).run()

@@ -1,0 +1,71 @@
+"""Core task-based programming model (DESIGN.md S1–S3).
+
+This package implements the PyCOMPSs-facing surface of the paper: the
+``@task`` decorator with parameter directions, ``@constraint`` resource
+annotations (including dynamically-evaluated memory constraints, claim C2),
+futures, the Access Processor that turns a sequential-looking program into a
+dynamic dependency graph, and the runtime facade that drives schedulers and
+execution backends.
+"""
+
+from repro.core.parameter import (
+    Direction,
+    Parameter,
+    IN,
+    OUT,
+    INOUT,
+    FILE_IN,
+    FILE_OUT,
+    FILE_INOUT,
+)
+from repro.core.futures import Future
+from repro.core.exceptions import (
+    ReproError,
+    TaskFailedError,
+    RuntimeNotStartedError,
+    ConstraintUnsatisfiableError,
+)
+from repro.core.constraints import ResourceConstraints, constraint
+from repro.core.task_definition import task, TaskDefinition
+from repro.core.graph import TaskGraph, TaskInstance, TaskState
+from repro.core.runtime import (
+    Runtime,
+    compss_wait_on,
+    compss_barrier,
+    compss_open,
+    compss_delete_object,
+    start_runtime,
+    stop_runtime,
+    get_runtime,
+)
+
+__all__ = [
+    "Direction",
+    "Parameter",
+    "IN",
+    "OUT",
+    "INOUT",
+    "FILE_IN",
+    "FILE_OUT",
+    "FILE_INOUT",
+    "Future",
+    "ReproError",
+    "TaskFailedError",
+    "RuntimeNotStartedError",
+    "ConstraintUnsatisfiableError",
+    "ResourceConstraints",
+    "constraint",
+    "task",
+    "TaskDefinition",
+    "TaskGraph",
+    "TaskInstance",
+    "TaskState",
+    "Runtime",
+    "compss_wait_on",
+    "compss_barrier",
+    "compss_open",
+    "compss_delete_object",
+    "start_runtime",
+    "stop_runtime",
+    "get_runtime",
+]

@@ -1,0 +1,211 @@
+"""The Access Processor (AP).
+
+"The Access Processor is the component of the runtime that receives calls
+from the instrumented code and builds a dependency graph. When all the
+accesses of a task have been registered, the AP sends it to the Task
+Scheduling component for execution." (§VI-B, Fig. 6)
+
+For every task invocation the AP:
+
+1. binds the call to the task's signature and reads each parameter's declared
+   direction (IN / OUT / INOUT / FILE_*);
+2. resolves each argument to a versioned datum in the :class:`DataRegistry`
+   (objects by identity, files by path, futures by their datum id; futures
+   inside one level of list/tuple are also tracked — PyCOMPSs collections);
+3. derives dependencies: a read depends on the writer of the version read
+   (RAW); a write depends on that writer *and* on every reader of the current
+   version (WAW + WAR — required because objects are mutated in place);
+4. mints result datums and futures for declared return values;
+5. emits a :class:`TaskInstance` carrying the dependency set, the argument
+   substitution map for futures, and the per-invocation resolved resource
+   requirements.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.core.constraints import ResolvedRequirements
+from repro.core.data import DataRegistry
+from repro.core.futures import Future
+from repro.core.graph import TaskInstance
+from repro.core.parameter import Direction, Parameter
+from repro.core.task_definition import TaskDefinition
+
+#: Immutable built-ins that cannot carry dependencies when passed IN:
+#: tracking them would only bloat the registry (and small ints are interned,
+#: so identity-based tracking would alias them anyway).
+_UNTRACKED_TYPES = (int, float, bool, str, bytes, complex, type(None), frozenset)
+
+
+@dataclass
+class RegisteredTask:
+    """What the AP hands to the runtime for one invocation."""
+
+    instance: TaskInstance
+    depends_on: Set[int]
+    futures: List[Future] = field(default_factory=list)
+
+
+class AccessProcessor:
+    """Builds the dynamic dependency graph from task-call data accesses."""
+
+    def __init__(self, registry: Optional[DataRegistry] = None) -> None:
+        self.registry = registry if registry is not None else DataRegistry()
+        self._task_ids = itertools.count(1)
+        # datum id of the *current* version -> futures awaiting that value
+        self.futures_by_datum: Dict[str, List[Future]] = {}
+
+    def next_task_id(self) -> int:
+        return next(self._task_ids)
+
+    # ------------------------------------------------------------------ API
+
+    def register_task(
+        self,
+        definition: TaskDefinition,
+        args: tuple,
+        kwargs: dict,
+    ) -> RegisteredTask:
+        """Process one task invocation into an instance + dependencies."""
+        task_id = self.next_task_id()
+        bound = definition.bind(args, kwargs)
+        deps: Set[int] = set()
+        reads: List[str] = []
+        writes: List[str] = []
+        future_args: Dict[Any, Future] = {}
+
+        for pname, value in bound.arguments.items():
+            param = definition.direction_of(pname)
+            explicit = pname in definition.param_directions
+            self._process_argument(
+                task_id, pname, value, param, explicit, deps, reads, writes, future_args
+            )
+
+        futures = self._mint_result_futures(definition, task_id, writes)
+        requirements = self._resolve_requirements(definition, bound)
+
+        instance = TaskInstance(
+            task_id=task_id,
+            label=f"{definition.name}#{task_id}",
+            requirements=requirements,
+            fn=definition.fn,
+            # Execution is always by keyword (signatures with *args/**kwargs
+            # are rejected at definition time), so future substitution can
+            # address every argument by parameter name.
+            args=(),
+            kwargs=dict(bound.arguments),
+            future_args=future_args,
+            reads=reads,
+            writes=writes,
+        )
+        return RegisteredTask(instance=instance, depends_on=deps, futures=futures)
+
+    # ------------------------------------------------------------ internals
+
+    def _process_argument(
+        self,
+        task_id: int,
+        pname: str,
+        value: Any,
+        param: Parameter,
+        explicit: bool,
+        deps: Set[int],
+        reads: List[str],
+        writes: List[str],
+        future_args: Dict[Any, Future],
+    ) -> None:
+        direction = param.direction
+        if isinstance(value, Future):
+            self._access_datum(task_id, value.datum_id, direction, deps, reads, writes)
+            future_args[pname] = value
+            return
+        if direction.is_file:
+            if not isinstance(value, str):
+                raise TypeError(
+                    f"parameter {pname!r} is declared FILE_* but received "
+                    f"{type(value).__name__}, expected a path string"
+                )
+            record = self.registry.register_file(value)
+            self._access_datum(task_id, record.datum_id, direction, deps, reads, writes)
+            return
+        if isinstance(value, (list, tuple)) and not explicit:
+            # One-level collection scan (PyCOMPSs COLLECTION_IN semantics).
+            # An *explicitly* annotated container (e.g. c=INOUT) is instead
+            # tracked as a mutable object below.
+            for index, element in enumerate(value):
+                if isinstance(element, Future):
+                    self._access_datum(
+                        task_id, element.datum_id, Direction.IN, deps, reads, writes
+                    )
+                    future_args[(pname, index)] = element
+            return
+        if isinstance(value, _UNTRACKED_TYPES) and direction is Direction.IN:
+            return
+        record = self.registry.register_object(value)
+        self._access_datum(task_id, record.datum_id, direction, deps, reads, writes)
+
+    def _access_datum(
+        self,
+        task_id: int,
+        datum_id: str,
+        direction: Direction,
+        deps: Set[int],
+        reads: List[str],
+        writes: List[str],
+    ) -> None:
+        record = self.registry.record(datum_id)
+        current = record.current
+        if direction.reads:
+            if current.writer_task_id is not None:
+                deps.add(current.writer_task_id)
+            self.registry.read(datum_id, task_id)
+            reads.append(datum_id)
+        if direction.writes:
+            # WAW on the previous writer, WAR on every reader of the current
+            # version: in-place mutation forbids reordering around them.
+            if current.writer_task_id is not None:
+                deps.add(current.writer_task_id)
+            for reader in current.reader_task_ids:
+                if reader != task_id:
+                    deps.add(reader)
+            self.registry.write(datum_id, task_id)
+            writes.append(datum_id)
+        deps.discard(task_id)
+
+    def _mint_result_futures(
+        self, definition: TaskDefinition, task_id: int, writes: List[str]
+    ) -> List[Future]:
+        futures: List[Future] = []
+        for index in range(definition.returns):
+            record = self.registry.register_result(task_id, index)
+            future = Future(datum_id=record.datum_id, producer_task_id=task_id)
+            self.futures_by_datum.setdefault(record.datum_id, []).append(future)
+            writes.append(record.datum_id)
+            futures.append(future)
+        return futures
+
+    def _resolve_requirements(
+        self, definition: TaskDefinition, bound
+    ) -> ResolvedRequirements:
+        spec = definition.constraints
+        if not spec.is_dynamic:
+            return spec.resolve()
+        # Dynamic constraints are evaluated on the *invocation* arguments,
+        # which is exactly the GUIDANCE variable-memory feature (claim C2).
+        # Futures among the args would make the callable fail or lie, so the
+        # callable must only inspect concrete arguments.
+        try:
+            return spec.resolve(tuple(bound.args), dict(bound.kwargs))
+        except Exception as error:
+            if any(isinstance(v, Future) for v in bound.arguments.values()):
+                raise TypeError(
+                    f"dynamic constraint of task {definition.name!r} failed "
+                    f"({error!r}); dynamic constraints are evaluated at "
+                    "submission time and must only depend on concrete "
+                    "arguments, not futures — pass the driving quantity "
+                    "(e.g. a size) as an explicit plain argument"
+                ) from error
+            raise

@@ -1,0 +1,132 @@
+"""Resource constraints on task types (claim C2, §VI-A).
+
+The paper singles out constraints as a differentiator: tasks can require "a
+specific type of processor, such as a GPU, or ... a number of cores", an
+amount of memory, or "the existence of a specific software in the node".  For
+GUIDANCE, the decisive feature is that memory constraints are *dynamically
+evaluated* per invocation — the memory a genetics binary needs depends on its
+inputs — so constraint values may be callables of the task's arguments.
+
+Usage::
+
+    @constraint(cores=4, memory_mb=lambda chunk: chunk.size_mb * 3)
+    @task(returns=1)
+    def impute(chunk): ...
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, FrozenSet, Optional, Union
+
+from repro.infrastructure.resources import Node
+
+#: A constraint value: a literal, or a callable evaluated on the task's
+#: (positional) arguments at invocation time.
+DynamicInt = Union[int, Callable[..., int]]
+DynamicFloat = Union[float, Callable[..., float]]
+
+CONSTRAINT_ATTR = "_repro_constraints"
+
+
+@dataclass(frozen=True)
+class ResolvedRequirements:
+    """Concrete per-invocation resource demand, after dynamic evaluation."""
+
+    cores: int = 1
+    memory_mb: int = 0
+    gpus: int = 0
+    software: FrozenSet[str] = frozenset()
+    # MPI-like gang tasks span several nodes (NMMB-Monarch simulation step).
+    nodes: int = 1
+
+    def __post_init__(self) -> None:
+        if self.cores < 1:
+            raise ValueError(f"cores must be >= 1, got {self.cores}")
+        if self.memory_mb < 0:
+            raise ValueError(f"memory_mb must be >= 0, got {self.memory_mb}")
+        if self.gpus < 0:
+            raise ValueError(f"gpus must be >= 0, got {self.gpus}")
+        if self.nodes < 1:
+            raise ValueError(f"nodes must be >= 1, got {self.nodes}")
+
+    def fits_node(self, node: Node) -> bool:
+        """Static check: could this demand ever run on ``node``?"""
+        return (
+            node.alive
+            and node.cores >= self.cores
+            and node.memory_mb >= self.memory_mb
+            and node.gpu_count >= self.gpus
+            and self.software <= node.software
+        )
+
+
+@dataclass(frozen=True)
+class ResourceConstraints:
+    """Possibly-dynamic constraint specification attached to a task type."""
+
+    cores: DynamicInt = 1
+    memory_mb: DynamicInt = 0
+    gpus: DynamicInt = 0
+    software: FrozenSet[str] = frozenset()
+    nodes: DynamicInt = 1
+
+    def resolve(self, args: tuple = (), kwargs: Optional[dict] = None) -> ResolvedRequirements:
+        """Evaluate dynamic fields against a concrete invocation."""
+        kwargs = kwargs or {}
+
+        def evaluate(value: Any) -> Any:
+            if callable(value):
+                return value(*args, **kwargs)
+            return value
+
+        return ResolvedRequirements(
+            cores=int(evaluate(self.cores)),
+            memory_mb=int(evaluate(self.memory_mb)),
+            gpus=int(evaluate(self.gpus)),
+            software=frozenset(self.software),
+            nodes=int(evaluate(self.nodes)),
+        )
+
+    @property
+    def is_dynamic(self) -> bool:
+        return any(callable(v) for v in (self.cores, self.memory_mb, self.gpus, self.nodes))
+
+
+def constraint(
+    cores: DynamicInt = 1,
+    memory_mb: DynamicInt = 0,
+    gpus: DynamicInt = 0,
+    software: Union[FrozenSet[str], tuple, list] = (),
+    nodes: DynamicInt = 1,
+) -> Callable:
+    """Decorator attaching :class:`ResourceConstraints` to a task function.
+
+    Must be applied *outside* ``@task`` (i.e. above it in source order), the
+    same convention PyCOMPSs uses.  Applying it below ``@task`` also works:
+    the ``@task`` wrapper forwards the attribute to its definition lazily.
+    """
+
+    spec = ResourceConstraints(
+        cores=cores,
+        memory_mb=memory_mb,
+        gpus=gpus,
+        software=frozenset(software),
+        nodes=nodes,
+    )
+
+    def apply(func: Callable) -> Callable:
+        setattr(func, CONSTRAINT_ATTR, spec)
+        # If @task already wrapped the function, push the spec into its
+        # definition so decorator order does not matter.
+        definition = getattr(func, "_repro_task_definition", None)
+        if definition is not None:
+            definition.constraints = spec
+        return func
+
+    return apply
+
+
+def constraints_of(func: Callable) -> ResourceConstraints:
+    """Return the constraints attached to ``func`` (default: 1 core)."""
+    return getattr(func, CONSTRAINT_ATTR, ResourceConstraints())

@@ -1,0 +1,159 @@
+"""Data registry: versioned identities for every datum tasks touch.
+
+The Access Processor needs a stable identity for each piece of data so it can
+derive read-after-write, write-after-read and write-after-write dependencies.
+Three families of data exist:
+
+* **objects** — tracked by Python identity.  The registry keeps a strong
+  reference to every registered object so ``id()`` reuse after garbage
+  collection cannot alias two different objects;
+* **files** — tracked by (normalized) path string;
+* **task results** — born inside the runtime; their identity is minted when
+  the producing task is registered and carried around by the Future.
+
+Every datum has a monotonically increasing *version*.  Readers depend on the
+writer of the version they read; each write creates a new version.  This is
+exactly the renaming scheme COMPSs applies to detect dependencies.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+
+@dataclass
+class DataVersion:
+    """One version of a datum: who wrote it, who reads it."""
+
+    datum_id: str
+    version: int
+    writer_task_id: Optional[int] = None
+    reader_task_ids: List[int] = field(default_factory=list)
+
+    @property
+    def key(self) -> str:
+        return f"{self.datum_id}#v{self.version}"
+
+
+@dataclass
+class DatumRecord:
+    """All registry state about a single datum."""
+
+    datum_id: str
+    versions: List[DataVersion] = field(default_factory=list)
+    # Strong reference for object data; None for file/result data.
+    pinned_object: Any = None
+    is_file: bool = False
+    # Estimated size in bytes, used by the simulation and locality scheduling.
+    size_bytes: float = 0.0
+
+    @property
+    def current(self) -> DataVersion:
+        return self.versions[-1]
+
+
+class DataRegistry:
+    """Maps objects/files/results to versioned datum records."""
+
+    def __init__(self) -> None:
+        self._records: Dict[str, DatumRecord] = {}
+        self._object_ids: Dict[int, str] = {}
+        self._counter = itertools.count()
+
+    # ---------------------------------------------------------------- lookup
+
+    def record(self, datum_id: str) -> DatumRecord:
+        return self._records[datum_id]
+
+    def has(self, datum_id: str) -> bool:
+        return datum_id in self._records
+
+    @property
+    def datum_ids(self) -> List[str]:
+        return list(self._records)
+
+    # ------------------------------------------------------------ registration
+
+    def register_object(self, obj: Any) -> DatumRecord:
+        """Return the record for ``obj``, creating it on first sight."""
+        key = id(obj)
+        datum_id = self._object_ids.get(key)
+        if datum_id is not None:
+            return self._records[datum_id]
+        datum_id = f"obj-{next(self._counter)}"
+        record = DatumRecord(datum_id=datum_id, pinned_object=obj)
+        record.versions.append(DataVersion(datum_id=datum_id, version=0))
+        self._records[datum_id] = record
+        self._object_ids[key] = datum_id
+        return record
+
+    def record_for_object(self, obj: Any) -> Optional[DatumRecord]:
+        """The record tracking ``obj``, or None if it was never registered."""
+        datum_id = self._object_ids.get(id(obj))
+        if datum_id is None:
+            return None
+        record = self._records.get(datum_id)
+        # Guard against id() reuse: the record must still pin this object.
+        if record is not None and record.pinned_object is obj:
+            return record
+        return None
+
+    def register_file(self, path: str) -> DatumRecord:
+        """Return the record for file ``path``, creating it on first sight."""
+        normalized = os.path.normpath(path)
+        datum_id = f"file:{normalized}"
+        record = self._records.get(datum_id)
+        if record is None:
+            record = DatumRecord(datum_id=datum_id, is_file=True)
+            record.versions.append(DataVersion(datum_id=datum_id, version=0))
+            self._records[datum_id] = record
+        return record
+
+    def register_result(self, task_id: int, index: int) -> DatumRecord:
+        """Mint a fresh datum for return value ``index`` of task ``task_id``."""
+        datum_id = f"res-{task_id}-{index}"
+        record = DatumRecord(datum_id=datum_id)
+        # Result data is born at version 1, written by its producer.
+        record.versions.append(
+            DataVersion(datum_id=datum_id, version=1, writer_task_id=task_id)
+        )
+        self._records[datum_id] = record
+        return record
+
+    # ------------------------------------------------------------- accesses
+
+    def read(self, datum_id: str, reader_task_id: int) -> DataVersion:
+        """Register a read of the current version; returns that version."""
+        version = self._records[datum_id].current
+        version.reader_task_ids.append(reader_task_id)
+        return version
+
+    def write(self, datum_id: str, writer_task_id: int) -> DataVersion:
+        """Register a write: creates and returns the next version."""
+        record = self._records[datum_id]
+        new_version = DataVersion(
+            datum_id=datum_id,
+            version=record.current.version + 1,
+            writer_task_id=writer_task_id,
+        )
+        record.versions.append(new_version)
+        return new_version
+
+    def set_size(self, datum_id: str, size_bytes: float) -> None:
+        """Attach a size estimate (locality scheduling, simulation)."""
+        self._records[datum_id].size_bytes = float(size_bytes)
+
+    def unpin_object(self, obj: Any) -> None:
+        """Drop the strong reference to a registered object.
+
+        After this the registry stops tracking the object; a later
+        registration of the same (or an aliased) object starts a fresh
+        datum.  Exposed as ``compss_delete_object`` at the API level.
+        """
+        key = id(obj)
+        datum_id = self._object_ids.pop(key, None)
+        if datum_id is not None and datum_id in self._records:
+            self._records[datum_id].pinned_object = None

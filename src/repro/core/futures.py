@@ -1,0 +1,86 @@
+"""Futures: placeholders for values tasks have not produced yet.
+
+Invoking a ``@task`` function returns immediately with one
+:class:`Future` per declared return value.  Futures flow into later task
+calls (creating dependencies) or are synchronized with ``compss_wait_on``.
+They are also valid dictionary keys and survive being stored in containers,
+since identity — not value — is what the Access Processor tracks.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from typing import Any, Optional
+
+_future_ids = itertools.count()
+
+
+class Future:
+    """A single not-yet-available task result.
+
+    Attributes:
+        datum_id: the data-registry identifier of the value this future will
+            hold; the Access Processor uses it to wire dependencies.
+        producer_task_id: id of the task instance that produces the value.
+    """
+
+    __slots__ = (
+        "future_id",
+        "datum_id",
+        "producer_task_id",
+        "_value",
+        "_resolved",
+        "_error",
+        "_lock",
+    )
+
+    def __init__(self, datum_id: str, producer_task_id: int) -> None:
+        self.future_id = next(_future_ids)
+        self.datum_id = datum_id
+        self.producer_task_id = producer_task_id
+        self._value: Any = None
+        self._resolved = False
+        self._error: Optional[BaseException] = None
+        self._lock = threading.Lock()
+
+    @property
+    def resolved(self) -> bool:
+        return self._resolved
+
+    @property
+    def error(self) -> Optional[BaseException]:
+        return self._error
+
+    def resolve(self, value: Any) -> None:
+        """Install the produced value (called by the runtime, once)."""
+        with self._lock:
+            if self._resolved:
+                raise RuntimeError(f"future {self.future_id} resolved twice")
+            self._value = value
+            self._resolved = True
+
+    def fail(self, error: BaseException) -> None:
+        """Mark the future as failed (its producer task raised)."""
+        with self._lock:
+            self._error = error
+            self._resolved = True
+
+    def value(self) -> Any:
+        """Return the resolved value; raises if unresolved or failed.
+
+        User code should not call this directly — ``compss_wait_on`` does,
+        after ensuring the producer has run.
+        """
+        if not self._resolved:
+            raise RuntimeError(
+                f"future {self.future_id} accessed before resolution; "
+                "synchronize with compss_wait_on first"
+            )
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+    def __repr__(self) -> str:
+        state = "resolved" if self._resolved else "pending"
+        return f"Future(id={self.future_id}, datum={self.datum_id!r}, {state})"

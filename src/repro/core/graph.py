@@ -1,0 +1,290 @@
+"""The dynamic task graph (workflow DAG).
+
+"At execution time, the runtime builds a task graph (or workflow) that takes
+into account the data dependencies between tasks, and from this graph
+schedules and executes the tasks" (§VI-A).  The graph here is append-only and
+acyclic by construction: a task may only depend on tasks registered before it
+(program order), so cycles cannot be expressed.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Set
+
+from repro.core.constraints import ResolvedRequirements
+
+
+class TaskState(enum.Enum):
+    """Lifecycle of a task instance."""
+
+    PENDING = "pending"      # registered, waiting on dependencies
+    READY = "ready"          # all dependencies satisfied, schedulable
+    RUNNING = "running"      # assigned to a node and executing
+    DONE = "done"            # finished successfully
+    FAILED = "failed"        # raised / node lost and unrecoverable
+    CANCELLED = "cancelled"  # skipped because an ancestor failed
+
+
+@dataclass
+class SimProfile:
+    """Synthetic execution profile for simulated tasks (DESIGN.md S6).
+
+    ``duration_s`` is the compute time on a ``speed_factor == 1.0`` core;
+    slower nodes stretch it.  Input/output datum sizes drive the network
+    model.
+    """
+
+    duration_s: float = 1.0
+    input_sizes: Dict[str, float] = field(default_factory=dict)
+    output_sizes: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.duration_s < 0:
+            raise ValueError(f"duration_s must be >= 0, got {self.duration_s}")
+
+
+@dataclass
+class TaskInstance:
+    """One node of the workflow DAG: a single task invocation."""
+
+    task_id: int
+    label: str
+    requirements: ResolvedRequirements = field(default_factory=ResolvedRequirements)
+    # Real execution payload (None for simulated tasks).
+    fn: Optional[Callable] = None
+    args: tuple = ()
+    kwargs: dict = field(default_factory=dict)
+    # Which argument positions / kwarg names must be substituted by resolved
+    # future values before execution ({position_or_name: Future}).
+    future_args: dict = field(default_factory=dict)
+    # Datum ids this task reads / writes (version keys recorded by the AP).
+    reads: List[str] = field(default_factory=list)
+    writes: List[str] = field(default_factory=list)
+    # Simulation profile (None when running for real).
+    profile: Optional[SimProfile] = None
+    state: TaskState = TaskState.PENDING
+    assigned_node: Optional[str] = None
+    # For gang (multi-node / MPI-like) tasks: every node in the allocation.
+    assigned_nodes: List[str] = field(default_factory=list)
+    start_time: Optional[float] = None
+    end_time: Optional[float] = None
+    error: Optional[BaseException] = None
+    # How many times this instance has been (re)submitted — recovery metric.
+    attempts: int = 0
+    # Content hash for memoizable invocations (set by the runtime).
+    cache_key: Optional[str] = None
+
+    @property
+    def duration(self) -> Optional[float]:
+        if self.start_time is None or self.end_time is None:
+            return None
+        return self.end_time - self.start_time
+
+    def __repr__(self) -> str:
+        return f"TaskInstance({self.task_id}, {self.label!r}, {self.state.value})"
+
+
+class GraphError(RuntimeError):
+    """Raised on invalid graph mutations (unknown ids, bad transitions)."""
+
+
+class TaskGraph:
+    """Append-only DAG of task instances with ready-set maintenance."""
+
+    def __init__(self) -> None:
+        self._tasks: Dict[int, TaskInstance] = {}
+        self._successors: Dict[int, Set[int]] = {}
+        self._predecessors: Dict[int, Set[int]] = {}
+        self._unfinished_preds: Dict[int, int] = {}
+        self._ready: List[int] = []
+        self.completed_count = 0
+        self.failed_count = 0
+        self.cancelled_count = 0
+
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+    def __contains__(self, task_id: int) -> bool:
+        return task_id in self._tasks
+
+    def task(self, task_id: int) -> TaskInstance:
+        try:
+            return self._tasks[task_id]
+        except KeyError:
+            raise GraphError(f"unknown task id {task_id}") from None
+
+    @property
+    def tasks(self) -> List[TaskInstance]:
+        return list(self._tasks.values())
+
+    def predecessors(self, task_id: int) -> Set[int]:
+        return set(self._predecessors.get(task_id, ()))
+
+    def successors(self, task_id: int) -> Set[int]:
+        return set(self._successors.get(task_id, ()))
+
+    # ---------------------------------------------------------------- build
+
+    def add_task(self, instance: TaskInstance, depends_on: Iterable[int] = ()) -> None:
+        """Insert ``instance`` depending on earlier tasks.
+
+        Dependencies on already-finished tasks are counted as satisfied; a
+        dependency on a FAILED/CANCELLED ancestor cancels the new task
+        immediately (failure propagation).
+        """
+        tid = instance.task_id
+        if tid in self._tasks:
+            raise GraphError(f"duplicate task id {tid}")
+        deps = set(depends_on)
+        for dep in deps:
+            if dep not in self._tasks:
+                raise GraphError(f"task {tid} depends on unknown task {dep}")
+            if dep >= tid:
+                raise GraphError(
+                    f"task {tid} depends on {dep}, which is not earlier in "
+                    "program order — cycles are not expressible"
+                )
+        self._tasks[tid] = instance
+        self._predecessors[tid] = deps
+        self._successors[tid] = set()
+        poisoned = False
+        unfinished = 0
+        for dep in deps:
+            self._successors[dep].add(tid)
+            dep_state = self._tasks[dep].state
+            if dep_state in (TaskState.FAILED, TaskState.CANCELLED):
+                poisoned = True
+            elif dep_state is not TaskState.DONE:
+                unfinished += 1
+        self._unfinished_preds[tid] = unfinished
+        if poisoned:
+            instance.state = TaskState.CANCELLED
+            self.cancelled_count += 1
+        elif unfinished == 0:
+            instance.state = TaskState.READY
+            self._ready.append(tid)
+
+    # ------------------------------------------------------------ scheduling
+
+    def ready_tasks(self) -> List[TaskInstance]:
+        """Tasks whose dependencies are all satisfied, in registration order."""
+        return [self._tasks[tid] for tid in self._ready]
+
+    @property
+    def ready_count(self) -> int:
+        return len(self._ready)
+
+    def mark_running(self, task_id: int, node_name: str, now: float = 0.0) -> None:
+        instance = self.task(task_id)
+        if instance.state is not TaskState.READY:
+            raise GraphError(
+                f"task {task_id} is {instance.state.value}, cannot start it"
+            )
+        self._ready.remove(task_id)
+        instance.state = TaskState.RUNNING
+        instance.assigned_node = node_name
+        instance.start_time = now
+        instance.attempts += 1
+
+    def requeue(self, task_id: int) -> None:
+        """Return a RUNNING task to READY (node failure → resubmission)."""
+        instance = self.task(task_id)
+        if instance.state is not TaskState.RUNNING:
+            raise GraphError(
+                f"task {task_id} is {instance.state.value}, cannot requeue it"
+            )
+        instance.state = TaskState.READY
+        instance.assigned_node = None
+        instance.start_time = None
+        self._ready.append(task_id)
+
+    def mark_done(self, task_id: int, now: float = 0.0) -> List[TaskInstance]:
+        """Complete a task; returns the successor tasks that became ready."""
+        instance = self.task(task_id)
+        if instance.state is not TaskState.RUNNING:
+            raise GraphError(
+                f"task {task_id} is {instance.state.value}, cannot complete it"
+            )
+        instance.state = TaskState.DONE
+        instance.end_time = now
+        self.completed_count += 1
+        newly_ready: List[TaskInstance] = []
+        for succ in self._successors[task_id]:
+            successor = self._tasks[succ]
+            if successor.state is not TaskState.PENDING:
+                continue
+            self._unfinished_preds[succ] -= 1
+            if self._unfinished_preds[succ] == 0:
+                successor.state = TaskState.READY
+                self._ready.append(succ)
+                newly_ready.append(successor)
+        return newly_ready
+
+    def mark_failed(self, task_id: int, error: BaseException, now: float = 0.0) -> List[int]:
+        """Fail a task and cancel its whole pending descendant cone.
+
+        Returns the ids of cancelled descendants.
+        """
+        instance = self.task(task_id)
+        if instance.state not in (TaskState.RUNNING, TaskState.READY):
+            raise GraphError(
+                f"task {task_id} is {instance.state.value}, cannot fail it"
+            )
+        if instance.state is TaskState.READY:
+            self._ready.remove(task_id)
+        instance.state = TaskState.FAILED
+        instance.error = error
+        instance.end_time = now
+        self.failed_count += 1
+        cancelled: List[int] = []
+        frontier = list(self._successors[task_id])
+        while frontier:
+            tid = frontier.pop()
+            descendant = self._tasks[tid]
+            if descendant.state in (TaskState.PENDING, TaskState.READY):
+                if descendant.state is TaskState.READY:
+                    self._ready.remove(tid)
+                descendant.state = TaskState.CANCELLED
+                self.cancelled_count += 1
+                cancelled.append(tid)
+                frontier.extend(self._successors[tid])
+        return cancelled
+
+    # -------------------------------------------------------------- queries
+
+    @property
+    def finished(self) -> bool:
+        """True when no task can make further progress."""
+        return all(
+            t.state in (TaskState.DONE, TaskState.FAILED, TaskState.CANCELLED)
+            for t in self._tasks.values()
+        )
+
+    @property
+    def pending_count(self) -> int:
+        return sum(1 for t in self._tasks.values() if t.state is TaskState.PENDING)
+
+    @property
+    def running_count(self) -> int:
+        return sum(1 for t in self._tasks.values() if t.state is TaskState.RUNNING)
+
+    def critical_path_length(self, duration_of: Callable[[TaskInstance], float]) -> float:
+        """Longest path through the DAG under ``duration_of`` (lower bound on makespan)."""
+        longest: Dict[int, float] = {}
+        for tid in self._tasks:  # insertion order is topological
+            instance = self._tasks[tid]
+            best_pred = max(
+                (longest[p] for p in self._predecessors[tid]), default=0.0
+            )
+            longest[tid] = best_pred + duration_of(instance)
+        return max(longest.values(), default=0.0)
+
+    def validate_acyclic(self) -> bool:
+        """Check the DAG invariant explicitly (used by property tests)."""
+        for tid, preds in self._predecessors.items():
+            for p in preds:
+                if p >= tid:
+                    return False
+        return True

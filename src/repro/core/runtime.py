@@ -1,0 +1,440 @@
+"""The runtime facade: COMPSs' master process, in library form.
+
+Owns the Access Processor, the task graph, the scheduler and an execution
+backend; exposes the PyCOMPSs user API (``compss_wait_on``,
+``compss_barrier``, ``compss_open``).  A runtime can be used as a context
+manager::
+
+    with Runtime() as rt:
+        partial = [count(block) for block in blocks]
+        total = compss_wait_on(merge(partial))
+
+Without an active runtime, ``@task`` functions run synchronously and the API
+functions degrade to no-ops/pass-throughs — the PyCOMPSs convention that
+makes task code debuggable with a plain interpreter.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Union
+
+if TYPE_CHECKING:
+    from repro.intelligence.memoization import TaskMemoizer
+
+from repro.core.access_processor import AccessProcessor
+from repro.core.data import DataRegistry
+from repro.core.exceptions import (
+    ReproError,
+    RuntimeNotStartedError,
+    TaskFailedError,
+)
+from repro.core.futures import Future
+from repro.core.graph import TaskGraph, TaskInstance, TaskState
+from repro.core.task_definition import TaskDefinition
+from repro.infrastructure.platform import Platform
+from repro.infrastructure.resources import Node, NodeKind
+from repro.scheduling.policies import SchedulingPolicy
+from repro.scheduling.scheduler import TaskScheduler
+
+_current: Optional["Runtime"] = None
+_in_task = threading.local()
+
+
+def current_runtime() -> Optional["Runtime"]:
+    """The globally active runtime, or None.
+
+    Returns None inside an executing task as well, so a task that calls
+    another ``@task`` function runs it synchronously instead of deadlocking
+    on nested submission (nested task graphs are out of scope, as in
+    PyCOMPSs' Python binding).
+    """
+    if getattr(_in_task, "active", False):
+        return None
+    return _current
+
+
+def _make_local_platform(workers: Optional[int]) -> Platform:
+    cores = workers if workers is not None else (os.cpu_count() or 4)
+    platform = Platform(name="local")
+    platform.add_node(
+        Node(
+            name="localhost",
+            kind=NodeKind.CLOUD,
+            cores=cores,
+            memory_mb=64_000,
+            software=frozenset({"python"}),
+        )
+    )
+    return platform
+
+
+class Runtime:
+    """A COMPSs-like runtime executing tasks on a (logical) platform.
+
+    Args:
+        platform: resource description; defaults to one local node with
+            ``workers`` (or ``os.cpu_count()``) cores.
+        policy: scheduling policy; defaults to FIFO first-fit.
+        workers: core count of the default local platform (ignored when an
+            explicit platform is passed).
+        pool_size: thread-pool width of the local executor; defaults to the
+            platform's total cores (capped at 128 threads).
+    """
+
+    def __init__(
+        self,
+        platform: Optional[Platform] = None,
+        policy: Optional[SchedulingPolicy] = None,
+        workers: Optional[int] = None,
+        pool_size: Optional[int] = None,
+        memoizer: Optional["TaskMemoizer"] = None,
+    ) -> None:
+        self.platform = platform if platform is not None else _make_local_platform(workers)
+        self.memoizer = memoizer
+        self.registry = DataRegistry()
+        self.access_processor = AccessProcessor(self.registry)
+        self.graph = TaskGraph()
+        self.scheduler = TaskScheduler(self.platform, policy)
+        self._cv = threading.Condition()
+        self._result_futures: Dict[int, List[Future]] = {}
+        self._started = False
+        self._t0 = time.monotonic()
+        # Imported lazily to avoid a core <-> executor import cycle.
+        from repro.executor.local import LocalExecutor
+
+        self.executor = LocalExecutor(self, pool_size=pool_size)
+
+    # ------------------------------------------------------------- lifecycle
+
+    def start(self) -> "Runtime":
+        """Activate this runtime globally (usually via ``with Runtime()``)."""
+        global _current
+        if _current is not None and _current is not self:
+            raise ReproError("another runtime is already active; stop it first")
+        self._started = True
+        self._t0 = time.monotonic()
+        self.executor.start()
+        _current = self
+        return self
+
+    def stop(self, wait: bool = True) -> None:
+        """Drain outstanding tasks (optionally) and deactivate the runtime."""
+        global _current
+        if wait and self._started:
+            self.barrier()
+        self.executor.shutdown()
+        self._started = False
+        if _current is self:
+            _current = None
+
+    def __enter__(self) -> "Runtime":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        # On exceptions, don't block on a barrier that may never complete.
+        self.stop(wait=exc_type is None)
+
+    @property
+    def now(self) -> float:
+        """Seconds since the runtime started (task timestamps use this)."""
+        return time.monotonic() - self._t0
+
+    # ------------------------------------------------------------ submission
+
+    def submit(self, definition: TaskDefinition, args: tuple, kwargs: dict) -> Any:
+        """Register one task invocation; returns its future(s) immediately."""
+        if not self._started:
+            raise RuntimeNotStartedError(
+                f"cannot submit {definition.name!r}: runtime not started"
+            )
+        with self._cv:
+            registered = self.access_processor.register_task(definition, args, kwargs)
+            if self._try_memoize(definition, registered):
+                return self._shape_returns(definition, registered.futures)
+            self.scheduler.check_satisfiable(registered.instance.requirements)
+            self.graph.add_task(registered.instance, registered.depends_on)
+            self._result_futures[registered.instance.task_id] = registered.futures
+            self.executor.kick_locked()
+            self._cv.notify_all()
+        return self._shape_returns(definition, registered.futures)
+
+    @staticmethod
+    def _shape_returns(definition: TaskDefinition, futures: List[Future]) -> Any:
+        if definition.returns == 0:
+            return None
+        if definition.returns == 1:
+            return futures[0]
+        return tuple(futures)
+
+    def _try_memoize(self, definition: TaskDefinition, registered) -> bool:
+        """Resolve futures from the memo cache when possible.
+
+        Only pure invocations qualify: the task is declared ``cache=True``,
+        takes no futures, reads/mutates no tracked data, and only produces
+        return values.  On a hit the instance still enters the graph (so
+        statistics and DOT exports see it) but completes instantly.
+        """
+        instance = registered.instance
+        if (
+            self.memoizer is None
+            or not definition.cache
+            or definition.returns == 0
+            or instance.future_args
+            or instance.reads
+            or len(instance.writes) != definition.returns
+        ):
+            return False
+        from repro.intelligence.memoization import memoizable_key
+
+        key = memoizable_key(definition.name, instance.kwargs)
+        instance.cache_key = key
+        hit, value = self.memoizer.lookup(key)
+        if not hit:
+            return False
+        self.graph.add_task(instance, registered.depends_on)
+        self.graph.mark_running(instance.task_id, "memo-cache", now=self.now)
+        self.graph.mark_done(instance.task_id, now=self.now)
+        self._result_futures[instance.task_id] = registered.futures
+        self._resolve_result_futures(instance, value)
+        self._cv.notify_all()
+        return True
+
+    # ------------------------------------------------------- synchronization
+
+    def wait_on(self, *items: Any, timeout: Optional[float] = None) -> Any:
+        """Synchronize on futures / registered objects / containers of them.
+
+        Returns the resolved value(s): a single value for one argument, a
+        list for several.  Failed producers re-raise :class:`TaskFailedError`
+        here.
+        """
+        results = [self._wait_one(item, timeout) for item in items]
+        if len(results) == 1:
+            return results[0]
+        return results
+
+    def _wait_one(self, item: Any, timeout: Optional[float]) -> Any:
+        if isinstance(item, Future):
+            self._block_until_resolved(item, timeout)
+            return item.value()
+        # An object tasks mutate in place (tracked by identity) must be
+        # synchronized as a datum — even if it happens to be a list.
+        if self.registry.record_for_object(item) is not None:
+            return self._wait_object(item, timeout)
+        if isinstance(item, (list, tuple)):
+            resolved = [self._wait_one(element, timeout) for element in item]
+            return type(item)(resolved)
+        # A plain object: wait for its last writer, then hand it back.
+        return self._wait_object(item, timeout)
+
+    def _wait_object(self, obj: Any, timeout: Optional[float]) -> Any:
+        key_record = self.registry.record_for_object(obj)
+        if key_record is None:
+            return obj  # never touched by a task; already consistent
+        writer = key_record.current.writer_task_id
+        if writer is None:
+            return obj
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cv:
+            while True:
+                state = self.graph.task(writer).state
+                if state is TaskState.DONE:
+                    return obj
+                if state in (TaskState.FAILED, TaskState.CANCELLED):
+                    error = self.graph.task(writer).error
+                    raise TaskFailedError(
+                        self.graph.task(writer).label,
+                        error if error is not None else ReproError("cancelled"),
+                    )
+                self._check_progress_possible(writer)
+                self._cv_wait(deadline)
+
+    def _block_until_resolved(self, future: Future, timeout: Optional[float]) -> None:
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cv:
+            while not future.resolved:
+                self._check_progress_possible(future.producer_task_id)
+                self._cv_wait(deadline)
+
+    def _cv_wait(self, deadline: Optional[float]) -> None:
+        if deadline is None:
+            self._cv.wait(timeout=1.0)
+            return
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            raise TimeoutError("wait_on timed out")
+        self._cv.wait(timeout=min(remaining, 1.0))
+
+    def _check_progress_possible(self, awaited_task_id: int) -> None:
+        """Raise instead of hanging when the awaited task can never run."""
+        if awaited_task_id not in self.graph:
+            raise ReproError(f"awaited task {awaited_task_id} was never registered")
+        state = self.graph.task(awaited_task_id).state
+        if state in (TaskState.FAILED, TaskState.CANCELLED):
+            instance = self.graph.task(awaited_task_id)
+            raise TaskFailedError(
+                instance.label,
+                instance.error if instance.error is not None else ReproError("cancelled"),
+            )
+
+    def barrier(self, timeout: Optional[float] = None) -> None:
+        """Block until every registered task has finished."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cv:
+            while not self.graph.finished:
+                self._cv_wait(deadline)
+
+    # ----------------------------------------------------- executor callbacks
+
+    def on_task_done(self, instance: TaskInstance, result: Any) -> None:
+        """Called by the executor (worker thread) when a task succeeds."""
+        with self._cv:
+            self.scheduler.release(instance)
+            self.graph.mark_done(instance.task_id, now=self.now)
+            self._resolve_result_futures(instance, result)
+            if self.memoizer is not None and instance.cache_key is not None:
+                self.memoizer.store(instance.cache_key, result)
+            self.executor.kick_locked()
+            self._cv.notify_all()
+
+    def on_task_failed(self, instance: TaskInstance, error: BaseException) -> None:
+        """Called by the executor when a task raises."""
+        with self._cv:
+            self.scheduler.release(instance)
+            cancelled = self.graph.mark_failed(instance.task_id, error, now=self.now)
+            failure = TaskFailedError(instance.label, error)
+            for future in self._result_futures.get(instance.task_id, []):
+                future.fail(failure)
+            for tid in cancelled:
+                for future in self._result_futures.get(tid, []):
+                    future.fail(failure)
+            self.executor.kick_locked()
+            self._cv.notify_all()
+
+    def _resolve_result_futures(self, instance: TaskInstance, result: Any) -> None:
+        futures = self._result_futures.get(instance.task_id, [])
+        if not futures:
+            return
+        if len(futures) == 1:
+            futures[0].resolve(result)
+            return
+        # Arity mismatches must FAIL the futures, never raise here: this
+        # runs in the completion callback, and an escaped exception would
+        # leave the futures unresolved and waiters hung forever.
+        failure: Optional[TaskFailedError] = None
+        values: tuple = ()
+        try:
+            values = tuple(result)
+        except TypeError:
+            failure = TaskFailedError(
+                instance.label,
+                TypeError(
+                    f"task declared returns={len(futures)} but returned "
+                    f"non-iterable {type(result).__name__}"
+                ),
+            )
+        if failure is None and len(values) != len(futures):
+            failure = TaskFailedError(
+                instance.label,
+                ValueError(
+                    f"task declared returns={len(futures)} but returned "
+                    f"{len(values)} values"
+                ),
+            )
+        if failure is not None:
+            for future in futures:
+                future.fail(failure)
+            return
+        for future, value in zip(futures, values):
+            future.resolve(value)
+
+    # ---------------------------------------------------------------- extras
+
+    def delete_object(self, obj: Any) -> None:
+        """Stop tracking an object (``compss_delete_object``)."""
+        with self._cv:
+            self.registry.unpin_object(obj)
+
+    def statistics(self) -> Dict[str, Any]:
+        """A snapshot of runtime counters (diagnostics, tests, benches)."""
+        with self._cv:
+            return {
+                "tasks_total": len(self.graph),
+                "tasks_done": self.graph.completed_count,
+                "tasks_failed": self.graph.failed_count,
+                "tasks_cancelled": self.graph.cancelled_count,
+                "tasks_running": self.graph.running_count,
+                "tasks_ready": self.graph.ready_count,
+                "total_cores": self.platform.total_cores,
+            }
+
+
+# ----------------------------------------------------------------- module API
+
+
+def get_runtime() -> "Runtime":
+    """The active runtime; raises if none is started."""
+    if _current is None:
+        raise RuntimeNotStartedError("no runtime is active; use start_runtime()")
+    return _current
+
+
+def start_runtime(**kwargs: Any) -> "Runtime":
+    """Start and globally activate a new :class:`Runtime`."""
+    return Runtime(**kwargs).start()
+
+
+def stop_runtime(wait: bool = True) -> None:
+    """Stop the active runtime, draining tasks first by default."""
+    if _current is not None:
+        _current.stop(wait=wait)
+
+
+def compss_wait_on(*items: Any, timeout: Optional[float] = None) -> Any:
+    """Synchronize on futures / tracked objects; pass-through with no runtime."""
+    runtime = current_runtime()
+    if runtime is None:
+        if len(items) == 1:
+            return items[0]
+        return list(items)
+    return runtime.wait_on(*items, timeout=timeout)
+
+
+def compss_barrier(timeout: Optional[float] = None) -> None:
+    """Wait for every submitted task to finish; no-op with no runtime."""
+    runtime = current_runtime()
+    if runtime is not None:
+        runtime.barrier(timeout=timeout)
+
+
+def compss_open(path: str, mode: str = "r"):
+    """Open a file after synchronizing the tasks that write it."""
+    runtime = current_runtime()
+    if runtime is not None:
+        record = runtime.registry.register_file(path)
+        writer = record.current.writer_task_id
+        if writer is not None:
+            with runtime._cv:
+                while runtime.graph.task(writer).state not in (
+                    TaskState.DONE,
+                    TaskState.FAILED,
+                    TaskState.CANCELLED,
+                ):
+                    runtime._cv_wait(None)
+            runtime._check_progress_possible(writer)
+    return open(path, mode)
+
+
+def compss_delete_object(obj: Any) -> None:
+    """Forget a tracked object; no-op with no runtime."""
+    runtime = current_runtime()
+    if runtime is not None:
+        runtime.delete_object(obj)
+
+
+def mark_in_task(active: bool) -> None:
+    """Executor hook: flags the current thread as running inside a task."""
+    _in_task.active = active

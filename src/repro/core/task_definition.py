@@ -1,0 +1,142 @@
+"""The ``@task`` decorator: PyCOMPSs-style task annotation.
+
+"A COMPSs application is composed of tasks, which are annotated methods. At
+execution time, the runtime builds a task graph ..." (§VI-A).  Decorating a
+function turns calls to it into asynchronous task submissions when a runtime
+is active; without a runtime the function runs synchronously (the PyCOMPSs
+convention, convenient for debugging).
+
+Example::
+
+    @task(returns=1)
+    def add(a, b):
+        return a + b
+
+    @task(c=INOUT)
+    def accumulate(c, x):
+        c.extend(x)
+"""
+
+from __future__ import annotations
+
+import functools
+import inspect
+from typing import Any, Callable, Dict, Optional
+
+from repro.core.constraints import (
+    CONSTRAINT_ATTR,
+    ResourceConstraints,
+    constraints_of,
+)
+from repro.core.parameter import IN, Direction, Parameter
+
+DEFINITION_ATTR = "_repro_task_definition"
+
+
+class TaskDefinition:
+    """Static description of a task type (one per decorated function)."""
+
+    def __init__(
+        self,
+        fn: Callable,
+        returns: int = 0,
+        param_directions: Optional[Dict[str, Parameter]] = None,
+        constraints: Optional[ResourceConstraints] = None,
+        cache: bool = False,
+    ) -> None:
+        self.fn = fn
+        self.name = getattr(fn, "__qualname__", getattr(fn, "__name__", "task"))
+        self.returns = int(returns)
+        # cache=True marks the task deterministic: the runtime may reuse a
+        # previous result for an identical invocation (memoization, §VI-C).
+        self.cache = bool(cache)
+        if self.returns < 0:
+            raise ValueError(f"returns must be >= 0, got {returns}")
+        self.param_directions = dict(param_directions or {})
+        self.constraints = constraints if constraints is not None else constraints_of(fn)
+        self._signature = inspect.signature(fn)
+        self._validate_directions()
+
+    def _validate_directions(self) -> None:
+        names = set(self._signature.parameters)
+        for parameter in self._signature.parameters.values():
+            if parameter.kind in (
+                inspect.Parameter.VAR_POSITIONAL,
+                inspect.Parameter.VAR_KEYWORD,
+                inspect.Parameter.POSITIONAL_ONLY,
+            ):
+                raise TypeError(
+                    f"task {self.name!r}: *args/**kwargs/positional-only "
+                    "parameters are not supported on tasks — the runtime "
+                    "substitutes futures by parameter name"
+                )
+        for pname in self.param_directions:
+            if pname not in names:
+                raise ValueError(
+                    f"task {self.name!r} declares direction for unknown "
+                    f"parameter {pname!r}"
+                )
+
+    def direction_of(self, param_name: str) -> Parameter:
+        """Declared direction of a parameter; defaults to IN."""
+        return self.param_directions.get(param_name, IN)
+
+    def bind(self, args: tuple, kwargs: dict) -> "inspect.BoundArguments":
+        """Bind a call to the signature (applies defaults)."""
+        bound = self._signature.bind(*args, **kwargs)
+        bound.apply_defaults()
+        return bound
+
+    def __repr__(self) -> str:
+        return f"TaskDefinition({self.name!r}, returns={self.returns})"
+
+
+def task(returns: int = 0, cache: bool = False, **param_directions: Parameter) -> Callable:
+    """Decorator that registers a function as a task type.
+
+    Args:
+        returns: how many values the task returns (each becomes a Future).
+        cache: declare the task deterministic, allowing the runtime to
+            memoize results across identical invocations (requires a
+            Runtime constructed with a ``memoizer``).
+        **param_directions: per-parameter :class:`Parameter` annotations
+            (``IN``/``OUT``/``INOUT``/``FILE_*``); unannotated parameters
+            default to ``IN``.
+    """
+    for name, value in param_directions.items():
+        if not isinstance(value, Parameter):
+            raise TypeError(
+                f"direction for parameter {name!r} must be a Parameter "
+                f"(IN/OUT/INOUT/FILE_*), got {value!r}"
+            )
+
+    def decorate(fn: Callable) -> Callable:
+        definition = TaskDefinition(
+            fn,
+            returns=returns,
+            param_directions=param_directions,
+            constraints=getattr(fn, CONSTRAINT_ATTR, None) or constraints_of(fn),
+            cache=cache,
+        )
+
+        @functools.wraps(fn)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            # Imported here to avoid a circular import at module load.
+            from repro.core.runtime import current_runtime
+
+            runtime = current_runtime()
+            if runtime is None:
+                return fn(*args, **kwargs)
+            return runtime.submit(definition, args, kwargs)
+
+        setattr(wrapper, DEFINITION_ATTR, definition)
+        # Let @constraint applied *after* @task still reach the definition.
+        wrapper._repro_task_definition = definition  # type: ignore[attr-defined]
+        return wrapper
+
+    return decorate
+
+
+def definition_of(fn: Callable) -> Optional[TaskDefinition]:
+    """The TaskDefinition behind a decorated function, if any."""
+    return getattr(fn, DEFINITION_ATTR, None)

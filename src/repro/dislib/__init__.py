@@ -1,0 +1,34 @@
+"""dislib: a distributed machine-learning library on the task runtime.
+
+"Our group is also doing developments on a distributed computing library
+(dislib) for machine learning which is internally parallelized with
+PyCOMPSs. The goal is to provide a simple and easy to use interface, which
+enables the use of optimized algorithms that run in parallel." (§VI-C)
+
+The public surface mirrors the real dislib: a blocked distributed array
+(:func:`array`, :func:`random_array`) plus scikit-learn-style estimators
+whose ``fit``/``predict`` are internally expressed as ``@task`` graphs, so
+they parallelize under an active :class:`~repro.Runtime` and degrade to
+sequential execution without one.
+"""
+
+from repro.dislib.array import DsArray, array, random_array, zeros
+from repro.dislib.kmeans import KMeans
+from repro.dislib.linear_regression import LinearRegression
+from repro.dislib.pca import PCA
+from repro.dislib.preprocessing import StandardScaler
+from repro.dislib.model_selection import KFold, cross_val_score, train_test_split
+
+__all__ = [
+    "DsArray",
+    "array",
+    "random_array",
+    "zeros",
+    "KMeans",
+    "LinearRegression",
+    "PCA",
+    "StandardScaler",
+    "KFold",
+    "cross_val_score",
+    "train_test_split",
+]

@@ -1,0 +1,127 @@
+"""K-means clustering, parallelized as a task graph (Lloyd's algorithm).
+
+Each iteration submits one partial-assignment task per row block and a
+single merge task; only the merged centers synchronize per iteration, so all
+block work runs in parallel under the runtime.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+import numpy as np
+
+from repro.core import compss_wait_on, task
+from repro.dislib.array import DsArray
+
+
+@task(returns=1)
+def _partial_assign(block, centers):
+    """Per-block cluster sums/counts/inertia for the given centers."""
+    distances = ((block[:, None, :] - centers[None, :, :]) ** 2).sum(axis=2)
+    labels = distances.argmin(axis=1)
+    k, d = centers.shape
+    sums = np.zeros((k, d))
+    counts = np.zeros(k, dtype=np.int64)
+    for cluster in range(k):
+        mask = labels == cluster
+        counts[cluster] = int(mask.sum())
+        if counts[cluster]:
+            sums[cluster] = block[mask].sum(axis=0)
+    inertia = float(distances[np.arange(len(labels)), labels].sum())
+    return sums, counts, inertia
+
+
+@task(returns=1)
+def _merge_partials(partials, old_centers):
+    """Combine per-block partials into new centers (+ total inertia)."""
+    k, d = old_centers.shape
+    sums = np.zeros((k, d))
+    counts = np.zeros(k, dtype=np.int64)
+    inertia = 0.0
+    for partial_sums, partial_counts, partial_inertia in partials:
+        sums += partial_sums
+        counts += partial_counts
+        inertia += partial_inertia
+    centers = old_centers.copy()
+    nonempty = counts > 0
+    centers[nonempty] = sums[nonempty] / counts[nonempty, None]
+    return centers, inertia
+
+
+@task(returns=1)
+def _block_labels(block, centers):
+    distances = ((block[:, None, :] - centers[None, :, :]) ** 2).sum(axis=2)
+    return distances.argmin(axis=1)
+
+
+class KMeans:
+    """Scikit-learn-style KMeans over row-blocked ds-arrays.
+
+    Args:
+        n_clusters: number of clusters.
+        max_iter: Lloyd iteration cap.
+        tol: center-shift convergence threshold (squared Frobenius).
+        seed: deterministic center initialization.
+    """
+
+    def __init__(
+        self,
+        n_clusters: int = 8,
+        max_iter: int = 30,
+        tol: float = 1e-4,
+        seed: int = 0,
+    ) -> None:
+        if n_clusters < 1:
+            raise ValueError("n_clusters must be >= 1")
+        self.n_clusters = n_clusters
+        self.max_iter = max_iter
+        self.tol = tol
+        self.seed = seed
+        self.centers_: Optional[np.ndarray] = None
+        self.inertia_: Optional[float] = None
+        self.n_iter_: int = 0
+
+    @staticmethod
+    def _row_blocks(x: DsArray) -> List[Any]:
+        if x.n_block_cols != 1:
+            raise ValueError(
+                "KMeans expects a row-partitioned ds-array "
+                "(block_shape[1] >= n_features)"
+            )
+        return [x.blocks[i][0] for i in range(x.n_block_rows)]
+
+    def fit(self, x: DsArray) -> "KMeans":
+        """Cluster the samples; leaves centers in ``centers_``."""
+        blocks = self._row_blocks(x)
+        first = np.asarray(compss_wait_on(blocks[0]))
+        rng = np.random.default_rng(self.seed)
+        if len(first) >= self.n_clusters:
+            picks = rng.choice(len(first), size=self.n_clusters, replace=False)
+            centers = first[picks].astype(float)
+        else:
+            centers = rng.random((self.n_clusters, x.shape[1]))
+
+        for iteration in range(self.max_iter):
+            partials = [_partial_assign(b, centers) for b in blocks]
+            merged = compss_wait_on(_merge_partials(partials, centers))
+            new_centers, inertia = merged
+            self.n_iter_ = iteration + 1
+            shift = float(((new_centers - centers) ** 2).sum())
+            centers = new_centers
+            self.inertia_ = inertia
+            if shift <= self.tol:
+                break
+        self.centers_ = centers
+        return self
+
+    def predict(self, x: DsArray) -> np.ndarray:
+        """Labels for every sample (synchronizes)."""
+        if self.centers_ is None:
+            raise RuntimeError("fit must be called before predict")
+        blocks = self._row_blocks(x)
+        label_blocks = [_block_labels(b, self.centers_) for b in blocks]
+        return np.concatenate([np.asarray(compss_wait_on(lb)) for lb in label_blocks])
+
+    def fit_predict(self, x: DsArray) -> np.ndarray:
+        return self.fit(x).predict(x)

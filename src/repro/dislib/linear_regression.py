@@ -1,0 +1,86 @@
+"""Ordinary least squares via blocked normal equations.
+
+``fit`` computes per-row-block Gram partials (Xᵀ X, Xᵀ y with an implicit
+bias column) in parallel, reduces them, and solves the small d×d system
+locally — the standard dislib formulation for tall-skinny data.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+import numpy as np
+
+from repro.core import compss_wait_on, task
+from repro.dislib.array import DsArray
+
+
+@task(returns=1)
+def _partial_gram(x_block, y_block):
+    augmented = np.hstack([x_block, np.ones((len(x_block), 1))])
+    y = np.asarray(y_block).reshape(len(x_block), -1)
+    return augmented.T @ augmented, augmented.T @ y
+
+
+@task(returns=1)
+def _solve_normal_equations(partials):
+    gram = sum(p[0] for p in partials)
+    moment = sum(p[1] for p in partials)
+    # lstsq tolerates singular Gram matrices (collinear features).
+    solution, *_ = np.linalg.lstsq(gram, moment, rcond=None)
+    return solution
+
+
+@task(returns=1)
+def _block_predict(x_block, coef, intercept):
+    return x_block @ coef + intercept
+
+
+class LinearRegression:
+    """Least-squares linear model over row-blocked ds-arrays."""
+
+    def __init__(self) -> None:
+        self.coef_: Optional[np.ndarray] = None
+        self.intercept_: Optional[np.ndarray] = None
+
+    @staticmethod
+    def _row_blocks(a: DsArray) -> List[Any]:
+        if a.n_block_cols != 1:
+            raise ValueError("LinearRegression expects row-partitioned ds-arrays")
+        return [a.blocks[i][0] for i in range(a.n_block_rows)]
+
+    def fit(self, x: DsArray, y: DsArray) -> "LinearRegression":
+        x_blocks = self._row_blocks(x)
+        y_blocks = self._row_blocks(y)
+        if x.n_block_rows != y.n_block_rows or x.shape[0] != y.shape[0]:
+            raise ValueError(
+                f"x and y row partitioning differs: {x.shape} vs {y.shape}"
+            )
+        partials = [
+            _partial_gram(xb, yb) for xb, yb in zip(x_blocks, y_blocks)
+        ]
+        solution = np.asarray(compss_wait_on(_solve_normal_equations(partials)))
+        self.coef_ = solution[:-1]
+        # Scalar intercept for the common single-target case.
+        self.intercept_ = (
+            float(solution[-1, 0]) if solution.shape[1] == 1 else solution[-1]
+        )
+        return self
+
+    def predict(self, x: DsArray) -> np.ndarray:
+        """Predictions for every sample (synchronizes)."""
+        if self.coef_ is None:
+            raise RuntimeError("fit must be called before predict")
+        blocks = self._row_blocks(x)
+        outputs = [_block_predict(b, self.coef_, self.intercept_) for b in blocks]
+        return np.vstack([np.asarray(compss_wait_on(o)) for o in outputs])
+
+    def score(self, x: DsArray, y: DsArray) -> float:
+        """Coefficient of determination R² (synchronizes)."""
+        predictions = self.predict(x)
+        actual = y.collect().reshape(predictions.shape)
+        residual = float(((actual - predictions) ** 2).sum())
+        total = float(((actual - actual.mean(axis=0)) ** 2).sum())
+        if total == 0:
+            return 1.0 if residual == 0 else 0.0
+        return 1.0 - residual / total

@@ -1,0 +1,86 @@
+"""Principal component analysis over row-blocked ds-arrays.
+
+Follows dislib's covariance formulation: per-block moment partials are
+computed in parallel tasks, reduced into the covariance matrix, and the
+(small) d×d eigendecomposition happens locally.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+import numpy as np
+
+from repro.core import compss_wait_on, task
+from repro.dislib.array import DsArray
+
+
+@task(returns=1)
+def _partial_cov(block):
+    return block.sum(axis=0), block.T @ block, len(block)
+
+
+@task(returns=1)
+def _merge_cov(partials):
+    total = sum(p[0] for p in partials)
+    cross = sum(p[1] for p in partials)
+    count = sum(p[2] for p in partials)
+    mean = total / count
+    covariance = cross / count - np.outer(mean, mean)
+    return mean, covariance
+
+
+@task(returns=1)
+def _block_project(block, mean, components):
+    return (block - mean) @ components.T
+
+
+class PCA:
+    """Scikit-learn-style PCA on distributed data.
+
+    Args:
+        n_components: how many principal directions to keep (default: all).
+    """
+
+    def __init__(self, n_components: Optional[int] = None) -> None:
+        if n_components is not None and n_components < 1:
+            raise ValueError("n_components must be >= 1")
+        self.n_components = n_components
+        self.mean_: Optional[np.ndarray] = None
+        self.components_: Optional[np.ndarray] = None
+        self.explained_variance_: Optional[np.ndarray] = None
+
+    @staticmethod
+    def _row_blocks(x: DsArray) -> List[Any]:
+        if x.n_block_cols != 1:
+            raise ValueError("PCA expects row-partitioned ds-arrays")
+        return [x.blocks[i][0] for i in range(x.n_block_rows)]
+
+    def fit(self, x: DsArray) -> "PCA":
+        partials = [_partial_cov(b) for b in self._row_blocks(x)]
+        mean, covariance = compss_wait_on(_merge_cov(partials))
+        eigenvalues, eigenvectors = np.linalg.eigh(np.asarray(covariance))
+        order = np.argsort(eigenvalues)[::-1]
+        keep = self.n_components or len(order)
+        keep = min(keep, len(order))
+        self.mean_ = np.asarray(mean)
+        self.components_ = eigenvectors[:, order[:keep]].T
+        self.explained_variance_ = eigenvalues[order[:keep]]
+        return self
+
+    def transform(self, x: DsArray) -> DsArray:
+        """Project samples onto the principal directions (one task/block)."""
+        if self.components_ is None:
+            raise RuntimeError("fit must be called before transform")
+        blocks = [
+            [_block_project(b, self.mean_, self.components_)]
+            for b in self._row_blocks(x)
+        ]
+        return DsArray(
+            blocks,
+            (x.shape[0], self.components_.shape[0]),
+            (x.block_shape[0], self.components_.shape[0]),
+        )
+
+    def fit_transform(self, x: DsArray) -> DsArray:
+        return self.fit(x).transform(x)

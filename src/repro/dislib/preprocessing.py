@@ -1,0 +1,64 @@
+"""Feature preprocessing: a distributed StandardScaler."""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+import numpy as np
+
+from repro.core import compss_wait_on, task
+from repro.dislib.array import DsArray
+
+
+@task(returns=1)
+def _partial_moments(block):
+    return block.sum(axis=0), (block * block).sum(axis=0), len(block)
+
+
+@task(returns=1)
+def _merge_moments(partials):
+    total = sum(p[0] for p in partials)
+    total_sq = sum(p[1] for p in partials)
+    count = sum(p[2] for p in partials)
+    mean = total / count
+    variance = total_sq / count - mean * mean
+    return mean, np.maximum(variance, 0.0)
+
+
+@task(returns=1)
+def _block_standardize(block, mean, std):
+    return (block - mean) / std
+
+
+class StandardScaler:
+    """Zero-mean / unit-variance scaling over row-blocked ds-arrays."""
+
+    def __init__(self) -> None:
+        self.mean_: Optional[np.ndarray] = None
+        self.var_: Optional[np.ndarray] = None
+
+    @staticmethod
+    def _row_blocks(a: DsArray) -> List[Any]:
+        if a.n_block_cols != 1:
+            raise ValueError("StandardScaler expects row-partitioned ds-arrays")
+        return [a.blocks[i][0] for i in range(a.n_block_rows)]
+
+    def fit(self, x: DsArray) -> "StandardScaler":
+        partials = [_partial_moments(b) for b in self._row_blocks(x)]
+        mean, variance = compss_wait_on(_merge_moments(partials))
+        self.mean_ = np.asarray(mean)
+        self.var_ = np.asarray(variance)
+        return self
+
+    def transform(self, x: DsArray) -> DsArray:
+        if self.mean_ is None or self.var_ is None:
+            raise RuntimeError("fit must be called before transform")
+        std = np.sqrt(self.var_)
+        std = np.where(std == 0, 1.0, std)
+        blocks = [
+            [_block_standardize(b, self.mean_, std)] for b in self._row_blocks(x)
+        ]
+        return DsArray(blocks, x.shape, x.block_shape)
+
+    def fit_transform(self, x: DsArray) -> DsArray:
+        return self.fit(x).transform(x)

@@ -1,0 +1,100 @@
+"""Real execution backend: a thread pool with capacity-aware dispatch.
+
+This is the COMPSs worker layer collapsed into one process: logical nodes
+still exist (the scheduler enforces their core/memory limits), but task
+functions execute on threads sharing the interpreter, which is also how the
+"single shared memory space" illusion of the paper trivially holds.
+
+Threading model: the runtime's condition variable guards graph + ledger;
+worker threads call back into the runtime on completion.  ``kick_locked`` —
+the only dispatch path — must be called with that lock held.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import TYPE_CHECKING, Any, Dict, Optional
+
+from repro.core.futures import Future
+from repro.core.graph import TaskInstance
+
+if TYPE_CHECKING:
+    from repro.core.runtime import Runtime
+
+
+class LocalExecutor:
+    """Dispatches ready tasks to a thread pool under ledger capacity."""
+
+    def __init__(self, runtime: "Runtime", pool_size: Optional[int] = None) -> None:
+        self.runtime = runtime
+        if pool_size is None:
+            pool_size = min(128, max(2, runtime.platform.total_cores))
+        self.pool_size = pool_size
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._shutdown = False
+
+    def start(self) -> None:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.pool_size, thread_name_prefix="repro-worker"
+            )
+        self._shutdown = False
+
+    def shutdown(self) -> None:
+        self._shutdown = True
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def kick_locked(self) -> None:
+        """Place and launch as many ready tasks as capacity allows.
+
+        Must be called with the runtime condition lock held.
+        """
+        if self._pool is None or self._shutdown:
+            return
+        graph = self.runtime.graph
+        scheduler = self.runtime.scheduler
+        # Iterate over a snapshot: mark_running mutates the ready list.
+        for instance in list(graph.ready_tasks()):
+            nodes = scheduler.try_place(instance)
+            if nodes is None:
+                continue
+            graph.mark_running(instance.task_id, nodes[0], now=self.runtime.now)
+            instance.assigned_nodes = nodes
+            self._pool.submit(self._run, instance)
+
+    # ------------------------------------------------------------ execution
+
+    def _run(self, instance: TaskInstance) -> None:
+        from repro.core.runtime import mark_in_task
+
+        try:
+            kwargs = self._materialize_arguments(instance)
+            mark_in_task(True)
+            try:
+                result = instance.fn(**kwargs)
+            finally:
+                mark_in_task(False)
+        except BaseException as error:  # noqa: BLE001 - task code may raise anything
+            self.runtime.on_task_failed(instance, error)
+            return
+        self.runtime.on_task_done(instance, result)
+
+    @staticmethod
+    def _materialize_arguments(instance: TaskInstance) -> Dict[str, Any]:
+        """Substitute resolved futures into the task's keyword arguments."""
+        kwargs = dict(instance.kwargs)
+        copied_lists = set()
+        for key, future in instance.future_args.items():
+            value = future.value()  # producer finished: resolution is certain
+            if isinstance(key, tuple):
+                pname, index = key
+                if pname not in copied_lists:
+                    kwargs[pname] = list(kwargs[pname])
+                    copied_lists.add(pname)
+                kwargs[pname][index] = value
+            else:
+                kwargs[key] = value
+        return kwargs

@@ -1,0 +1,114 @@
+"""Builder for simulated workflows: profiled task DAGs without decorators.
+
+Benchmarks describe workloads as tasks with synthetic profiles (duration,
+cores, memory, named data inputs/outputs).  The builder applies the same
+RAW/WAR/WAW dependency semantics the Access Processor applies to real
+programs, so the simulated graphs exercise the identical graph machinery.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
+
+from repro.core.constraints import ResolvedRequirements
+from repro.core.graph import SimProfile, TaskGraph, TaskInstance
+
+
+@dataclass
+class _DatumState:
+    writer: Optional[int] = None
+    readers: List[int] = field(default_factory=list)
+    size_bytes: float = 0.0
+
+
+class SimWorkflowBuilder:
+    """Accumulates profiled tasks into a :class:`TaskGraph`.
+
+    Data dependencies are derived from datum names: a task reading ``"x"``
+    depends on the last task that declared ``"x"`` among its outputs (RAW);
+    re-writing a datum adds WAR/WAW edges exactly like the real AP.
+    """
+
+    def __init__(self) -> None:
+        self.graph = TaskGraph()
+        self._data: Dict[str, _DatumState] = {}
+        self._ids = itertools.count(1)
+        #: sizes of data that exist before the workflow starts (initial data)
+        self.initial_data: Dict[str, float] = {}
+
+    def add_initial_datum(self, name: str, size_bytes: float) -> None:
+        """Declare a datum that exists before any task runs (e.g. input files)."""
+        self._data[name] = _DatumState(size_bytes=float(size_bytes))
+        self.initial_data[name] = float(size_bytes)
+
+    def add_task(
+        self,
+        label: str,
+        duration: float,
+        inputs: Iterable[str] = (),
+        outputs: Optional[Mapping[str, float]] = None,
+        cores: int = 1,
+        memory_mb: int = 0,
+        gpus: int = 0,
+        nodes: int = 1,
+        software: Iterable[str] = (),
+        depends_on: Iterable[int] = (),
+    ) -> TaskInstance:
+        """Append a task; returns its instance (its ``task_id`` can be used
+        in later ``depends_on`` for pure control dependencies)."""
+        task_id = next(self._ids)
+        deps: Set[int] = set(depends_on)
+        reads: List[str] = []
+        writes: List[str] = []
+        input_sizes: Dict[str, float] = {}
+        output_sizes: Dict[str, float] = {}
+
+        for name in inputs:
+            state = self._data.get(name)
+            if state is None:
+                raise ValueError(
+                    f"task {label!r} reads unknown datum {name!r}; declare it "
+                    "with add_initial_datum or produce it with an earlier task"
+                )
+            if state.writer is not None:
+                deps.add(state.writer)
+            state.readers.append(task_id)
+            reads.append(name)
+            input_sizes[name] = state.size_bytes
+
+        for name, size in (outputs or {}).items():
+            state = self._data.get(name)
+            if state is not None:
+                if state.writer is not None:
+                    deps.add(state.writer)
+                deps.update(r for r in state.readers if r != task_id)
+            self._data[name] = _DatumState(writer=task_id, size_bytes=float(size))
+            writes.append(name)
+            output_sizes[name] = float(size)
+
+        deps.discard(task_id)
+        instance = TaskInstance(
+            task_id=task_id,
+            label=f"{label}#{task_id}",
+            requirements=ResolvedRequirements(
+                cores=cores,
+                memory_mb=memory_mb,
+                gpus=gpus,
+                software=frozenset(software),
+                nodes=nodes,
+            ),
+            reads=reads,
+            writes=writes,
+            profile=SimProfile(
+                duration_s=duration,
+                input_sizes=input_sizes,
+                output_sizes=output_sizes,
+            ),
+        )
+        self.graph.add_task(instance, depends_on=deps)
+        return instance
+
+    def datum_size(self, name: str) -> float:
+        return self._data[name].size_bytes

@@ -1,0 +1,25 @@
+"""Workflow description front-ends (§II taxonomy).
+
+The paper's state of the art distinguishes how workflows are described:
+graphically (Kepler/Taverna/Galaxy), *textually* "by specifying the graph in
+a textual mode" (Pegasus/ASKALON), *programmatically* (PyCOMPSs/Swift/Parsl
+— the `@task` API of this library), and via *tagged scripts* processed by a
+cycling engine (Cylc/Autosubmit/ecFlow).
+
+This package adds the two non-programmatic front-ends on top of the same
+graph machinery:
+
+* :mod:`repro.frontends.text` — a Pegasus-DAX-flavoured textual format;
+* :mod:`repro.frontends.suite` — an Autosubmit/Cylc-flavoured cycling suite
+  (dated cycles, inter-cycle dependencies like ``sim[-1]``).
+"""
+
+from repro.frontends.text import parse_workflow_text, WorkflowSyntaxError
+from repro.frontends.suite import CyclingSuite, SuiteTask
+
+__all__ = [
+    "parse_workflow_text",
+    "WorkflowSyntaxError",
+    "CyclingSuite",
+    "SuiteTask",
+]

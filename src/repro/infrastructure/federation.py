@@ -1,0 +1,109 @@
+"""Federated clouds (claim C6: "clouds, federated clouds").
+
+A :class:`CloudFederation` fronts several :class:`CloudProvider` connectors
+— the paper's "component that offers different connectors, each bridging to
+each provider API" — and places VM requests across them by policy:
+cheapest-first (the default) or fastest-boot-first, honouring per-provider
+quotas and skipping exhausted providers.  The elasticity controller can
+drive a federation exactly like a single provider.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.infrastructure.cloud import CloudProvider
+from repro.infrastructure.resources import Node
+
+
+class FederationError(RuntimeError):
+    """Raised on invalid federation configuration or operations."""
+
+
+class CloudFederation:
+    """A multi-provider facade with a pluggable placement order."""
+
+    CHEAPEST_FIRST = "cheapest-first"
+    FASTEST_BOOT_FIRST = "fastest-boot-first"
+
+    def __init__(
+        self,
+        providers: List[CloudProvider],
+        placement: str = CHEAPEST_FIRST,
+    ) -> None:
+        if not providers:
+            raise FederationError("federation needs at least one provider")
+        names = [p.name for p in providers]
+        if len(set(names)) != len(names):
+            raise FederationError(f"duplicate provider names: {names}")
+        if placement not in (self.CHEAPEST_FIRST, self.FASTEST_BOOT_FIRST):
+            raise FederationError(f"unknown placement policy {placement!r}")
+        self.providers = list(providers)
+        self.placement = placement
+
+    def _ordered(self) -> List[CloudProvider]:
+        if self.placement == self.CHEAPEST_FIRST:
+            return sorted(self.providers, key=lambda p: p.cost_per_node_second)
+        return sorted(self.providers, key=lambda p: p.startup_delay_s)
+
+    # ------------------------------------------------- provider-like facade
+
+    @property
+    def active_nodes(self) -> List[str]:
+        return [n for p in self.providers for n in p.active_nodes]
+
+    @property
+    def pending_nodes(self) -> int:
+        return sum(p.pending_nodes for p in self.providers)
+
+    @property
+    def total_cost(self) -> float:
+        return sum(p.total_cost for p in self.providers)
+
+    @property
+    def template(self):
+        """Template of the preferred provider (ElasticityPolicy sizing hint)."""
+        return self._ordered()[0].template
+
+    @property
+    def platform(self):
+        return self.providers[0].platform
+
+    def request_nodes(
+        self, count: int, on_ready: Optional[Callable[[Node], None]] = None
+    ) -> int:
+        """Spread a VM request over providers in placement order.
+
+        Each provider grants up to its remaining quota; overflow spills to
+        the next provider.  Returns the total granted.
+        """
+        remaining = count
+        granted_total = 0
+        for provider in self._ordered():
+            if remaining <= 0:
+                break
+            granted = provider.request_nodes(remaining, on_ready=on_ready)
+            granted_total += granted
+            remaining -= granted
+        return granted_total
+
+    def release_node(self, node_name: str) -> None:
+        """Route a release to whichever provider owns the VM."""
+        for provider in self.providers:
+            if node_name in provider.active_nodes:
+                provider.release_node(node_name)
+                return
+        raise FederationError(f"{node_name!r} is not owned by any federated provider")
+
+    def shutdown(self) -> None:
+        for provider in self.providers:
+            provider.shutdown()
+
+    def owner_of(self, node_name: str) -> Optional[str]:
+        for provider in self.providers:
+            if node_name in provider.active_nodes:
+                return provider.name
+        return None
+
+    def nodes_by_provider(self) -> Dict[str, List[str]]:
+        return {p.name: list(p.active_nodes) for p in self.providers}

@@ -1,0 +1,136 @@
+"""Network topology and data-transfer model.
+
+The topology is a latency/bandwidth description between *zones* (groups of
+nodes: a rack, a fog area, a cloud region).  Transfer time for a payload is
+
+    latency(src_zone, dst_zone) + size_bytes / bandwidth(src_zone, dst_zone)
+
+which is coarse but captures the property the paper's locality claims (C4)
+depend on: moving data across the continuum costs orders of magnitude more
+than reading it where it lives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Link:
+    """Directed connectivity between two zones."""
+
+    latency_s: float
+    bandwidth_bps: float
+
+    def __post_init__(self) -> None:
+        if self.latency_s < 0:
+            raise ValueError(f"latency must be >= 0, got {self.latency_s}")
+        if self.bandwidth_bps <= 0:
+            raise ValueError(f"bandwidth must be > 0, got {self.bandwidth_bps}")
+
+    def transfer_time(self, size_bytes: float) -> float:
+        """Seconds needed to move ``size_bytes`` over this link."""
+        if size_bytes < 0:
+            raise ValueError(f"size must be >= 0, got {size_bytes}")
+        if size_bytes == 0:
+            return 0.0
+        return self.latency_s + size_bytes / self.bandwidth_bps
+
+
+@dataclass
+class TransferRecord:
+    """One completed (simulated) data movement, kept for the metrics layer."""
+
+    src_node: str
+    dst_node: str
+    size_bytes: float
+    start_time: float
+    duration: float
+    datum: str = ""
+
+
+#: Link used when source and destination are the same node: in-memory access.
+LOCAL_LINK = Link(latency_s=0.0, bandwidth_bps=float("inf"))
+
+
+class NetworkTopology:
+    """Zone-based network model.
+
+    Nodes are assigned to zones; links connect zone pairs.  A same-zone
+    default link (e.g. rack-local 10 GbE) applies within a zone, and an
+    explicit link or the ``default_link`` applies across zones.
+    """
+
+    def __init__(
+        self,
+        intra_zone_link: Link = Link(latency_s=50e-6, bandwidth_bps=10e9 / 8),
+        default_link: Link = Link(latency_s=20e-3, bandwidth_bps=1e9 / 8),
+    ) -> None:
+        self._node_zone: Dict[str, str] = {}
+        self._links: Dict[Tuple[str, str], Link] = {}
+        self.intra_zone_link = intra_zone_link
+        self.default_link = default_link
+        self.transfers: List[TransferRecord] = []
+
+    def add_node(self, node_name: str, zone: str) -> None:
+        """Place ``node_name`` in ``zone`` (re-placing is allowed)."""
+        self._node_zone[node_name] = zone
+
+    def add_nodes(self, node_names: Iterable[str], zone: str) -> None:
+        for name in node_names:
+            self.add_node(name, zone)
+
+    def zone_of(self, node_name: str) -> str:
+        """Return the zone a node belongs to (default zone if unplaced)."""
+        return self._node_zone.get(node_name, "default")
+
+    def connect(self, zone_a: str, zone_b: str, link: Link, symmetric: bool = True) -> None:
+        """Install a link between two zones."""
+        self._links[(zone_a, zone_b)] = link
+        if symmetric:
+            self._links[(zone_b, zone_a)] = link
+
+    def link_between(self, src_node: str, dst_node: str) -> Link:
+        """Resolve the link used for a transfer from src to dst node."""
+        if src_node == dst_node:
+            return LOCAL_LINK
+        src_zone = self.zone_of(src_node)
+        dst_zone = self.zone_of(dst_node)
+        if src_zone == dst_zone:
+            return self.intra_zone_link
+        return self._links.get((src_zone, dst_zone), self.default_link)
+
+    def transfer_time(self, src_node: str, dst_node: str, size_bytes: float) -> float:
+        """Seconds to move ``size_bytes`` from src to dst (0 if same node)."""
+        return self.link_between(src_node, dst_node).transfer_time(size_bytes)
+
+    def record_transfer(
+        self,
+        src_node: str,
+        dst_node: str,
+        size_bytes: float,
+        start_time: float,
+        duration: float,
+        datum: str = "",
+    ) -> TransferRecord:
+        """Log a completed transfer for the metrics layer and return it."""
+        record = TransferRecord(
+            src_node=src_node,
+            dst_node=dst_node,
+            size_bytes=size_bytes,
+            start_time=start_time,
+            duration=duration,
+            datum=datum,
+        )
+        self.transfers.append(record)
+        return record
+
+    @property
+    def total_bytes_moved(self) -> float:
+        """Bytes moved across distinct nodes (locality metric for E4/E5)."""
+        return sum(t.size_bytes for t in self.transfers if t.src_node != t.dst_node)
+
+    @property
+    def remote_transfer_count(self) -> int:
+        return sum(1 for t in self.transfers if t.src_node != t.dst_node)

@@ -1,0 +1,80 @@
+"""Task-result memoization: reuse work across identical invocations.
+
+The cheapest form of "learning from previous executions" (§VI-C): a
+deterministic task invoked twice with equal arguments need not run twice.
+The memoizer is consulted by the runtime *before* submission — a hit
+resolves the futures immediately with the cached value, skipping scheduling
+entirely — and is content-addressed, so it composes with the
+store-vs-recompute metrics of :mod:`repro.metrics.data_metrics` (a cache
+entry is a "stored intermediate" whose regeneration cost is the task).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+
+def memoizable_key(task_name: str, kwargs: Dict[str, Any]) -> Optional[str]:
+    """Content hash of an invocation, or None if any argument is unhashable.
+
+    Futures, open files, and other stateful arguments make an invocation
+    non-memoizable; pickling failure is the (conservative) detector.
+    """
+    try:
+        payload = pickle.dumps(
+            (task_name, sorted(kwargs.items())), protocol=pickle.HIGHEST_PROTOCOL
+        )
+    except Exception:
+        return None
+    return hashlib.blake2b(payload, digest_size=16).hexdigest()
+
+
+@dataclass
+class _CacheEntry:
+    value: Any
+    hits: int = 0
+
+
+class TaskMemoizer:
+    """A bounded, content-addressed cache of task results."""
+
+    def __init__(self, max_entries: int = 10_000) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self._cache: Dict[str, _CacheEntry] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    def lookup(self, key: Optional[str]) -> Tuple[bool, Any]:
+        """(found, value).  A None key (unhashable args) never hits."""
+        if key is None:
+            self.misses += 1
+            return False, None
+        entry = self._cache.get(key)
+        if entry is None:
+            self.misses += 1
+            return False, None
+        entry.hits += 1
+        self.hits += 1
+        return True, entry.value
+
+    def store(self, key: Optional[str], value: Any) -> None:
+        if key is None:
+            return
+        if key not in self._cache and len(self._cache) >= self.max_entries:
+            # FIFO eviction: drop the oldest entry (dict preserves order).
+            oldest = next(iter(self._cache))
+            del self._cache[oldest]
+        self._cache[key] = _CacheEntry(value=value)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

@@ -1,0 +1,29 @@
+"""Tracing and data-computing metrics (DESIGN.md S15).
+
+Covers the paper's §VI-C research directions that are concrete enough to
+build: execution traces/utilization over task graphs, and the
+"data-computing metrics ... to compute the trade-off between the cost of
+storing data generated or re-computing them" (experiment E10).
+"""
+
+from repro.metrics.tracing import TaskTrace, TraceCollector, utilization
+from repro.metrics.dot import graph_to_dot
+from repro.metrics.data_metrics import (
+    IntermediateDatum,
+    StoreAllPolicy,
+    RecomputeAllPolicy,
+    CostModelPolicy,
+    evaluate_policy,
+)
+
+__all__ = [
+    "TaskTrace",
+    "TraceCollector",
+    "utilization",
+    "graph_to_dot",
+    "IntermediateDatum",
+    "StoreAllPolicy",
+    "RecomputeAllPolicy",
+    "CostModelPolicy",
+    "evaluate_policy",
+]

@@ -1,0 +1,144 @@
+"""Data-computing metrics: the store-vs-recompute trade-off (§VI-C, E10).
+
+"The data-computing metrics will be used to compute the trade-off between
+the cost of storing data generated or re-computing them. While storing
+results has been since now the followed approach, the project will propose
+new unconventional strategies to reduce cost of storage and optimize
+computing."
+
+Model: an intermediate datum has a (re)computation cost, a size, a storage
+medium with write/read bandwidth, and an expected number of future accesses.
+A policy decides per datum whether to *store* it (pay one write, then reads)
+or *discard* it (pay a recomputation per access).  ``evaluate_policy`` totals
+the time each strategy costs over a workload of accesses, which is what the
+E10 bench sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Protocol
+
+
+@dataclass(frozen=True)
+class IntermediateDatum:
+    """One lineage-tracked intermediate result."""
+
+    name: str
+    compute_cost_s: float
+    size_bytes: float
+    accesses: int
+
+    def __post_init__(self) -> None:
+        if self.compute_cost_s < 0:
+            raise ValueError("compute_cost_s must be >= 0")
+        if self.size_bytes < 0:
+            raise ValueError("size_bytes must be >= 0")
+        if self.accesses < 0:
+            raise ValueError("accesses must be >= 0")
+
+
+@dataclass(frozen=True)
+class StorageMedium:
+    """Bandwidths of the storage tier holding stored intermediates."""
+
+    write_bps: float = 1e9  # ~1 GB/s parallel filesystem
+    read_bps: float = 2e9
+
+    def write_time(self, size_bytes: float) -> float:
+        return size_bytes / self.write_bps
+
+    def read_time(self, size_bytes: float) -> float:
+        return size_bytes / self.read_bps
+
+
+class DataPolicy(Protocol):
+    """Decides whether a datum is stored after first computation."""
+
+    name: str
+
+    def should_store(self, datum: IntermediateDatum, medium: StorageMedium) -> bool:
+        ...
+
+
+class StoreAllPolicy:
+    """The conventional approach the paper says everyone follows."""
+
+    name = "store-all"
+
+    def should_store(self, datum: IntermediateDatum, medium: StorageMedium) -> bool:
+        return True
+
+
+class RecomputeAllPolicy:
+    """The opposite extreme: never store, always regenerate."""
+
+    name = "recompute-all"
+
+    def should_store(self, datum: IntermediateDatum, medium: StorageMedium) -> bool:
+        return False
+
+
+class CostModelPolicy:
+    """The paper's proposed metric-driven strategy.
+
+    Store iff the storage path is cheaper over the datum's lifetime:
+
+        write + accesses * read   <   accesses * recompute
+    """
+
+    name = "cost-model"
+
+    def should_store(self, datum: IntermediateDatum, medium: StorageMedium) -> bool:
+        store_cost = medium.write_time(datum.size_bytes) + datum.accesses * medium.read_time(
+            datum.size_bytes
+        )
+        recompute_cost = datum.accesses * datum.compute_cost_s
+        return store_cost < recompute_cost
+
+
+@dataclass
+class PolicyEvaluation:
+    """Totals for one policy over a workload."""
+
+    policy_name: str
+    total_time_s: float
+    stored_bytes: float
+    recomputations: int
+
+    def __str__(self) -> str:
+        return (
+            f"{self.policy_name}: time={self.total_time_s:.1f}s "
+            f"stored={self.stored_bytes / 1e9:.2f}GB "
+            f"recomputations={self.recomputations}"
+        )
+
+
+def evaluate_policy(
+    policy: DataPolicy,
+    data: Iterable[IntermediateDatum],
+    medium: StorageMedium = StorageMedium(),
+) -> PolicyEvaluation:
+    """Total time/storage a policy costs for a set of intermediates.
+
+    Every datum is computed once regardless (its first materialization);
+    the policy only controls what later accesses cost.
+    """
+    total = 0.0
+    stored_bytes = 0.0
+    recomputations = 0
+    for datum in data:
+        total += datum.compute_cost_s  # first materialization
+        if policy.should_store(datum, medium):
+            total += medium.write_time(datum.size_bytes)
+            total += datum.accesses * medium.read_time(datum.size_bytes)
+            stored_bytes += datum.size_bytes
+        else:
+            total += datum.accesses * datum.compute_cost_s
+            recomputations += datum.accesses
+    return PolicyEvaluation(
+        policy_name=policy.name,
+        total_time_s=total,
+        stored_bytes=stored_bytes,
+        recomputations=recomputations,
+    )

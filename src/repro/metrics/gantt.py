@@ -1,0 +1,54 @@
+"""ASCII Gantt rendering of execution traces.
+
+A terminal-friendly view of where time went: one row per node, one glyph
+per time bucket, '█'-shaded by how busy the node was in that bucket.  Used
+by the CLI's ``timeline`` command and handy in notebooks/tests.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.graph import TaskGraph
+from repro.metrics.tracing import TraceCollector
+
+_SHADES = " ░▒▓█"
+
+
+def render_gantt(graph: TaskGraph, width: int = 72, label_width: int = 18) -> str:
+    """Render a finished graph's schedule as an ASCII Gantt chart.
+
+    Each row is a node; each column is ``makespan / width`` seconds; the
+    glyph encodes the node's core-occupancy fraction in that bucket
+    relative to its own peak (darker = busier).
+    """
+    if width < 8:
+        raise ValueError("width must be >= 8")
+    collector = TraceCollector(graph)
+    makespan = collector.makespan()
+    by_node = collector.rows_by_node()
+    if makespan <= 0 or not by_node:
+        return "(empty trace)"
+    bucket_s = makespan / width
+    lines: List[str] = [
+        f"{'node':<{label_width}} |{'time →'.ljust(width)}| 0..{makespan:.0f}s"
+    ]
+    for node_name in sorted(by_node):
+        occupancy = [0.0] * width
+        for row in by_node[node_name]:
+            first = min(width - 1, int(row.start / bucket_s))
+            last = min(width - 1, int(max(row.start, row.end - 1e-9) / bucket_s))
+            for bucket in range(first, last + 1):
+                bucket_start = bucket * bucket_s
+                bucket_end = bucket_start + bucket_s
+                overlap = min(row.end, bucket_end) - max(row.start, bucket_start)
+                if overlap > 0:
+                    occupancy[bucket] += row.cores * overlap / bucket_s
+        peak = max(occupancy) or 1.0
+        glyphs = "".join(
+            _SHADES[min(len(_SHADES) - 1, int(round(v / peak * (len(_SHADES) - 1))))]
+            for v in occupancy
+        )
+        display = node_name if len(node_name) <= label_width else node_name[: label_width - 1] + "…"
+        lines.append(f"{display:<{label_width}} |{glyphs}|")
+    return "\n".join(lines)

@@ -1,0 +1,98 @@
+"""Execution traces over task graphs.
+
+Both backends stamp start/end times onto :class:`TaskInstance`; this module
+turns a finished graph into per-node interval traces (Gantt rows), resource
+utilization numbers and simple summaries — the observability layer a COMPSs
+deployment gets from Paraver traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.graph import TaskGraph, TaskInstance, TaskState
+
+
+@dataclass(frozen=True)
+class TaskTrace:
+    """One completed task's trace row."""
+
+    task_id: int
+    label: str
+    node: str
+    start: float
+    end: float
+    cores: int
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class TraceCollector:
+    """Extracts trace rows and summaries from a finished graph."""
+
+    def __init__(self, graph: TaskGraph) -> None:
+        self.graph = graph
+
+    def rows(self) -> List[TaskTrace]:
+        rows: List[TaskTrace] = []
+        for instance in self.graph.tasks:
+            if instance.state is not TaskState.DONE:
+                continue
+            if instance.start_time is None or instance.end_time is None:
+                continue
+            for node in instance.assigned_nodes or [instance.assigned_node or "?"]:
+                rows.append(
+                    TaskTrace(
+                        task_id=instance.task_id,
+                        label=instance.label,
+                        node=node,
+                        start=instance.start_time,
+                        end=instance.end_time,
+                        cores=instance.requirements.cores,
+                    )
+                )
+        return rows
+
+    def makespan(self) -> float:
+        ends = [t.end_time for t in self.graph.tasks if t.end_time is not None]
+        return max(ends, default=0.0)
+
+    def rows_by_node(self) -> Dict[str, List[TaskTrace]]:
+        by_node: Dict[str, List[TaskTrace]] = {}
+        for row in self.rows():
+            by_node.setdefault(row.node, []).append(row)
+        for rows in by_node.values():
+            rows.sort(key=lambda r: r.start)
+        return by_node
+
+    def summary(self) -> Dict[str, float]:
+        rows = self.rows()
+        makespan = self.makespan()
+        busy = sum(r.duration * r.cores for r in rows)
+        return {
+            "tasks": float(len(rows)),
+            "makespan": makespan,
+            "busy_core_seconds": busy,
+            "mean_task_duration": (
+                sum(r.duration for r in rows) / len(rows) if rows else 0.0
+            ),
+        }
+
+
+def utilization(graph: TaskGraph, total_cores: int, makespan: Optional[float] = None) -> float:
+    """Fraction of available core-time spent executing tasks.
+
+    The scalability experiments (E1) report this alongside speedup: good
+    scalability == utilization stays high as nodes are added.
+    """
+    if total_cores <= 0:
+        raise ValueError("total_cores must be positive")
+    collector = TraceCollector(graph)
+    horizon = makespan if makespan is not None else collector.makespan()
+    if horizon <= 0:
+        return 0.0
+    busy = sum(r.duration * r.cores for r in collector.rows())
+    return min(1.0, busy / (total_cores * horizon))

@@ -1,0 +1,183 @@
+"""An MPI-like SPMD substrate for parallel tasks (§VI-A task types).
+
+The paper's COMPSs tasks may be a "Parallel task, programmed with a
+distributed memory paradigm (MPI) that runs on multiple nodes."  In the
+simulated backend such tasks are gang allocations (``nodes > 1``); in the
+*real* thread-pool backend this module supplies the programming model: an
+SPMD launcher with the core MPI collectives, so example workflows (e.g. the
+NMMB-Monarch port) can contain genuinely message-coordinated kernels.
+
+Usage — compose with a task reserving the cores::
+
+    from repro import task, constraint
+    from repro.mpi import mpi_run
+
+    def kernel(rank, field):
+        local = field[rank.rank :: rank.size]
+        return rank.allreduce(sum(local))
+
+    @constraint(cores=4)
+    @task(returns=1)
+    def simulate(field):
+        return mpi_run(kernel, 4, field)[0]
+
+Collectives are rendezvous-correct for SPMD programs: every rank must call
+the same collectives in the same order (the MPI contract).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+_REDUCERS: Dict[str, Callable[[Sequence[Any]], Any]] = {
+    "sum": lambda values: sum(values[1:], values[0]),
+    "max": max,
+    "min": min,
+    "prod": lambda values: _product(values),
+}
+
+
+def _product(values: Sequence[Any]) -> Any:
+    result = values[0]
+    for value in values[1:]:
+        result = result * value
+    return result
+
+
+class MpiError(RuntimeError):
+    """Raised on collective misuse or rank failures."""
+
+
+class _Communicator:
+    """Shared rendezvous state for one SPMD run."""
+
+    def __init__(self, size: int) -> None:
+        self.size = size
+        self.barrier = threading.Barrier(size)
+        self.lock = threading.Lock()
+        self.buffers: Dict[int, Dict[int, Any]] = {}
+
+    def deposit(self, call_id: int, rank: int, value: Any) -> None:
+        with self.lock:
+            self.buffers.setdefault(call_id, {})[rank] = value
+
+    def collect(self, call_id: int) -> Dict[int, Any]:
+        with self.lock:
+            return dict(self.buffers[call_id])
+
+    def cleanup(self, call_id: int) -> None:
+        with self.lock:
+            self.buffers.pop(call_id, None)
+
+
+class Rank:
+    """A rank's view of the communicator (passed to the SPMD function)."""
+
+    def __init__(self, comm: _Communicator, rank: int) -> None:
+        self._comm = comm
+        self.rank = rank
+        self.size = comm.size
+        self._calls = 0
+
+    def _rendezvous(self, value: Any) -> Dict[int, Any]:
+        """Deposit, synchronize, read all ranks' values, synchronize again."""
+        self._calls += 1
+        call_id = self._calls
+        self._comm.deposit(call_id, self.rank, value)
+        self._comm.barrier.wait()
+        values = self._comm.collect(call_id)
+        self._comm.barrier.wait()
+        if self.rank == 0:
+            self._comm.cleanup(call_id)
+        return values
+
+    def barrier(self) -> None:
+        """Block until every rank reaches the barrier."""
+        self._calls += 1
+        self._comm.barrier.wait()
+
+    def allreduce(self, value: Any, op: str = "sum") -> Any:
+        """Combine every rank's value; all ranks receive the result."""
+        reducer = _REDUCERS.get(op)
+        if reducer is None:
+            raise MpiError(f"unknown reduction op {op!r}; use {sorted(_REDUCERS)}")
+        values = self._rendezvous(value)
+        return reducer([values[r] for r in range(self.size)])
+
+    def bcast(self, value: Any, root: int = 0) -> Any:
+        """Every rank receives root's value (non-roots pass a placeholder)."""
+        if not 0 <= root < self.size:
+            raise MpiError(f"root {root} out of range for size {self.size}")
+        values = self._rendezvous(value)
+        return values[root]
+
+    def gather(self, value: Any, root: int = 0) -> Optional[List[Any]]:
+        """Root receives [rank0, rank1, ...]; other ranks receive None."""
+        if not 0 <= root < self.size:
+            raise MpiError(f"root {root} out of range for size {self.size}")
+        values = self._rendezvous(value)
+        if self.rank == root:
+            return [values[r] for r in range(self.size)]
+        return None
+
+    def alltoall(self, values: Sequence[Any]) -> List[Any]:
+        """Rank i sends values[j] to rank j; receives [v_0i, v_1i, ...]."""
+        if len(values) != self.size:
+            raise MpiError(
+                f"alltoall needs exactly {self.size} values, got {len(values)}"
+            )
+        deposited = self._rendezvous(list(values))
+        return [deposited[sender][self.rank] for sender in range(self.size)]
+
+
+def mpi_run(
+    fn: Callable,
+    processes: int,
+    *args: Any,
+    timeout_s: float = 300.0,
+    **kwargs: Any,
+) -> List[Any]:
+    """Run ``fn(rank, *args, **kwargs)`` on ``processes`` SPMD ranks.
+
+    Returns the per-rank return values, ordered by rank.  A raising rank
+    aborts the whole run (the other ranks are released from any pending
+    collective and the first error is re-raised) — MPI's error semantics.
+    """
+    if processes < 1:
+        raise MpiError(f"processes must be >= 1, got {processes}")
+    comm = _Communicator(processes)
+    results: List[Any] = [None] * processes
+    errors: List[BaseException] = []
+    error_lock = threading.Lock()
+
+    def run_rank(rank_index: int) -> None:
+        rank = Rank(comm, rank_index)
+        try:
+            results[rank_index] = fn(rank, *args, **kwargs)
+        except BaseException as error:  # noqa: BLE001 - user kernels may raise anything
+            with error_lock:
+                errors.append(error)
+            comm.barrier.abort()  # release ranks stuck in collectives
+
+    threads = [
+        threading.Thread(target=run_rank, args=(index,), name=f"mpi-rank-{index}")
+        for index in range(processes)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=timeout_s)
+        if thread.is_alive():
+            comm.barrier.abort()
+            raise MpiError(f"rank thread {thread.name} did not finish in {timeout_s}s")
+    if errors:
+        first = errors[0]
+        if isinstance(first, threading.BrokenBarrierError):
+            # Find the real root cause if another rank recorded one.
+            for error in errors:
+                if not isinstance(error, threading.BrokenBarrierError):
+                    first = error
+                    break
+        raise MpiError(f"MPI run failed: {first!r}") from first
+    return results

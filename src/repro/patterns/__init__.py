@@ -1,0 +1,14 @@
+"""The "Patterns" abstraction level (§V, Fig. 2/3).
+
+"Patterns: is an intermediate programming environment, where developers can
+express in a simple way parallel structures (embarrassingly parallel, fork,
+join, ...), data reductions, etc."
+
+These helpers sit between application code and the general-purpose ``@task``
+level: they submit tasks through the active runtime and return futures, so
+patterns compose with hand-written tasks.
+"""
+
+from repro.patterns.parallel import parallel_map, parallel_reduce, fork_join, pipeline_map
+
+__all__ = ["parallel_map", "parallel_reduce", "fork_join", "pipeline_map"]

@@ -1,0 +1,143 @@
+"""Per-node capacity accounting.
+
+The ledger is the scheduler's source of truth for what is free *right now*.
+Its invariant — allocations never exceed a node's capacity — is one of the
+property-tested guarantees in DESIGN.md §4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from repro.core.constraints import ResolvedRequirements
+from repro.infrastructure.resources import Node
+
+
+class CapacityError(RuntimeError):
+    """Raised when an allocation or release would violate the ledger invariant."""
+
+
+@dataclass
+class NodeCapacity:
+    """Mutable free-resource state of one node."""
+
+    node: Node
+    free_cores: int
+    free_memory_mb: int
+    free_gpus: int
+    running_task_ids: List[int]
+
+    @classmethod
+    def for_node(cls, node: Node) -> "NodeCapacity":
+        return cls(
+            node=node,
+            free_cores=node.cores,
+            free_memory_mb=node.memory_mb,
+            free_gpus=node.gpu_count,
+            running_task_ids=[],
+        )
+
+    @property
+    def busy_cores(self) -> int:
+        return self.node.cores - self.free_cores
+
+    @property
+    def idle(self) -> bool:
+        return not self.running_task_ids
+
+    def ever_fits(self, req: ResolvedRequirements) -> bool:
+        """Static feasibility: could the demand run here with the node empty?"""
+        return req.fits_node(self.node)
+
+    def fits_now(self, req: ResolvedRequirements) -> bool:
+        """Dynamic feasibility against current free resources."""
+        return (
+            self.node.alive
+            and self.free_cores >= req.cores
+            and self.free_memory_mb >= req.memory_mb
+            and self.free_gpus >= req.gpus
+            and req.software <= self.node.software
+        )
+
+    def allocate(self, task_id: int, req: ResolvedRequirements) -> None:
+        if not self.fits_now(req):
+            raise CapacityError(
+                f"task {task_id} ({req.cores}c/{req.memory_mb}MB/{req.gpus}g) "
+                f"does not fit on {self.node.name} "
+                f"({self.free_cores}c/{self.free_memory_mb}MB/{self.free_gpus}g free)"
+            )
+        self.free_cores -= req.cores
+        self.free_memory_mb -= req.memory_mb
+        self.free_gpus -= req.gpus
+        self.running_task_ids.append(task_id)
+
+    def release(self, task_id: int, req: ResolvedRequirements) -> None:
+        if task_id not in self.running_task_ids:
+            raise CapacityError(
+                f"task {task_id} is not running on {self.node.name}"
+            )
+        self.running_task_ids.remove(task_id)
+        self.free_cores += req.cores
+        self.free_memory_mb += req.memory_mb
+        self.free_gpus += req.gpus
+        if (
+            self.free_cores > self.node.cores
+            or self.free_memory_mb > self.node.memory_mb
+            or self.free_gpus > self.node.gpu_count
+        ):
+            raise CapacityError(
+                f"release of task {task_id} overflowed capacity on {self.node.name}"
+            )
+
+
+class CapacityLedger:
+    """Capacity state for every node the scheduler can use."""
+
+    def __init__(self, nodes: Iterable[Node] = ()) -> None:
+        self._states: Dict[str, NodeCapacity] = {}
+        for node in nodes:
+            self.add_node(node)
+
+    def add_node(self, node: Node) -> None:
+        if node.name in self._states:
+            raise CapacityError(f"node {node.name!r} already tracked")
+        self._states[node.name] = NodeCapacity.for_node(node)
+
+    def remove_node(self, node_name: str) -> NodeCapacity:
+        """Forget a node; returns its final state (running tasks included)."""
+        try:
+            return self._states.pop(node_name)
+        except KeyError:
+            raise CapacityError(f"unknown node {node_name!r}") from None
+
+    def state(self, node_name: str) -> NodeCapacity:
+        try:
+            return self._states[node_name]
+        except KeyError:
+            raise CapacityError(f"unknown node {node_name!r}") from None
+
+    def has_node(self, node_name: str) -> bool:
+        return node_name in self._states
+
+    @property
+    def states(self) -> List[NodeCapacity]:
+        return list(self._states.values())
+
+    @property
+    def node_names(self) -> List[str]:
+        return list(self._states)
+
+    def candidates(self, req: ResolvedRequirements) -> List[NodeCapacity]:
+        """Nodes where ``req`` fits right now, in registration order."""
+        return [s for s in self._states.values() if s.fits_now(req)]
+
+    def any_ever_fits(self, req: ResolvedRequirements) -> bool:
+        return any(s.ever_fits(req) for s in self._states.values())
+
+    def idle_nodes(self) -> List[str]:
+        return [name for name, s in self._states.items() if s.idle]
+
+    @property
+    def total_free_cores(self) -> int:
+        return sum(s.free_cores for s in self._states.values() if s.node.alive)

@@ -1,0 +1,71 @@
+"""Data-location tracking: which nodes hold which datum.
+
+This is the scheduler-facing half of the paper's Storage Runtime Interface:
+"the ``getLocations`` method will enable the runtime to exploit the locality
+of the data by scheduling tasks in the location where the data resides"
+(§VI-A1).  Both the simulated executor (task outputs stay on the producing
+node) and the storage backends (partition replicas) publish locations here;
+the locality policy consumes them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Set
+
+
+class DataLocationService:
+    """Registry mapping datum ids to the node names that hold a copy."""
+
+    def __init__(self) -> None:
+        self._locations: Dict[str, Set[str]] = {}
+        self._sizes: Dict[str, float] = {}
+
+    def publish(self, datum_id: str, node_name: str, size_bytes: float = 0.0) -> None:
+        """Record that ``node_name`` now holds a copy of ``datum_id``."""
+        self._locations.setdefault(datum_id, set()).add(node_name)
+        if size_bytes:
+            self._sizes[datum_id] = float(size_bytes)
+
+    def set_size(self, datum_id: str, size_bytes: float) -> None:
+        self._sizes[datum_id] = float(size_bytes)
+
+    def get_locations(self, datum_id: str) -> Set[str]:
+        """SRI getLocations: every node holding a copy (empty set if unknown)."""
+        return set(self._locations.get(datum_id, ()))
+
+    def size_of(self, datum_id: str, default: float = 0.0) -> float:
+        return self._sizes.get(datum_id, default)
+
+    def evict_node(self, node_name: str) -> None:
+        """Drop every copy held by a node (node failure / scale-in)."""
+        for holders in self._locations.values():
+            holders.discard(node_name)
+
+    def is_lost(self, datum_id: str) -> bool:
+        """True if the datum once had holders but every copy was evicted.
+
+        Distinct from "never registered": un-registered data is assumed to
+        be ambient (not simulated); lost data makes its readers unrunnable
+        unless a persistent store re-publishes a location.
+        """
+        return datum_id in self._locations and not self._locations[datum_id]
+
+    def local_bytes(self, node_name: str, datum_ids: Iterable[str]) -> float:
+        """Bytes of the given data already present on ``node_name``."""
+        total = 0.0
+        for datum_id in datum_ids:
+            if node_name in self._locations.get(datum_id, ()):
+                total += self._sizes.get(datum_id, 0.0)
+        return total
+
+    def missing_bytes(self, node_name: str, datum_ids: Iterable[str]) -> float:
+        """Bytes that would have to be transferred to run on ``node_name``."""
+        total = 0.0
+        for datum_id in datum_ids:
+            if node_name not in self._locations.get(datum_id, ()):
+                total += self._sizes.get(datum_id, 0.0)
+        return total
+
+    def snapshot(self) -> Mapping[str, Set[str]]:
+        """A copy of the full location map (diagnostics/tests)."""
+        return {k: set(v) for k, v in self._locations.items()}

@@ -1,0 +1,177 @@
+"""Placement policies.
+
+A policy chooses, among the nodes where a task currently fits, which one it
+should run on.  Policies are pure ranking functions over
+:class:`NodeCapacity` states plus optional context (data locations, network,
+expected durations), so they are shared verbatim by the real thread-pool
+executor and the discrete-event simulator.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Protocol
+
+from repro.core.graph import TaskInstance
+from repro.infrastructure.network import NetworkTopology
+from repro.scheduling.capacity import NodeCapacity
+from repro.scheduling.locations import DataLocationService
+
+
+class SchedulingPolicy(Protocol):
+    """Interface every placement policy implements."""
+
+    name: str
+
+    def select(
+        self,
+        task: TaskInstance,
+        candidates: List[NodeCapacity],
+    ) -> Optional[NodeCapacity]:
+        """Pick a node for ``task`` among ``candidates`` (all fit now).
+
+        Returns None to decline placement (a policy may prefer waiting).
+        """
+        ...
+
+
+class FifoPolicy:
+    """First fit, in node registration order — the paper's baseline engine."""
+
+    name = "fifo"
+
+    def select(
+        self, task: TaskInstance, candidates: List[NodeCapacity]
+    ) -> Optional[NodeCapacity]:
+        return candidates[0] if candidates else None
+
+
+class LoadBalancingPolicy:
+    """Most-free-cores first: spreads work, maximizes immediate parallelism."""
+
+    name = "load-balancing"
+
+    def select(
+        self, task: TaskInstance, candidates: List[NodeCapacity]
+    ) -> Optional[NodeCapacity]:
+        if not candidates:
+            return None
+        return max(candidates, key=lambda s: (s.free_cores, -s.busy_cores))
+
+
+class LocalityPolicy:
+    """Minimize bytes moved: prefer the node already holding the inputs.
+
+    Implements the paper's SRI-driven locality scheduling (claim C4).  Ties
+    are broken toward more free cores so the policy degrades into load
+    balancing for input-less tasks.
+    """
+
+    name = "locality"
+
+    def __init__(self, locations: DataLocationService) -> None:
+        self.locations = locations
+
+    def select(
+        self, task: TaskInstance, candidates: List[NodeCapacity]
+    ) -> Optional[NodeCapacity]:
+        if not candidates:
+            return None
+        input_ids = list(task.reads)
+        if not input_ids:
+            return max(candidates, key=lambda s: s.free_cores)
+
+        def score(state: NodeCapacity) -> tuple:
+            local = self.locations.local_bytes(state.node.name, input_ids)
+            return (local, state.free_cores)
+
+        return max(candidates, key=score)
+
+
+class EnergyAwarePolicy:
+    """Energy-first placement: pack already-on nodes, prefer efficient ones.
+
+    Ranks candidates by (already busy, low marginal watts, fewer free cores)
+    so that work consolidates onto few, efficient nodes and the rest can
+    be powered off / scaled in.  Used by experiment E9.
+    """
+
+    name = "energy"
+
+    def select(
+        self, task: TaskInstance, candidates: List[NodeCapacity]
+    ) -> Optional[NodeCapacity]:
+        if not candidates:
+            return None
+
+        def score(state: NodeCapacity) -> tuple:
+            marginal_watts = state.node.power.busy_watts_per_core * task.requirements.cores
+            # Placing on an idle node additionally "costs" its idle draw.
+            if state.idle:
+                marginal_watts += state.node.power.idle_watts
+            return (marginal_watts, state.free_cores)
+
+        return min(candidates, key=score)
+
+
+class EarliestFinishTimePolicy:
+    """Pick the node that finishes the task soonest (HEFT-style greedy).
+
+    Uses the simulation profile (duration / input sizes) plus the network
+    model: finish = transfer_time(missing inputs) + duration / speed_factor.
+    Only meaningful for simulated tasks; falls back to locality ranking when
+    no profile is present.
+    """
+
+    name = "earliest-finish-time"
+
+    def __init__(
+        self,
+        locations: DataLocationService,
+        network: NetworkTopology,
+        decline_slowdown_factor: Optional[float] = None,
+    ) -> None:
+        self.locations = locations
+        self.network = network
+        # When set, the policy *declines* placements whose estimated finish
+        # exceeds ``factor x (duration / best speed ever offered)`` — i.e.
+        # it prefers waiting for a fast node over occupying a slow one.
+        # Non-work-conserving, so use only on platforms where fast nodes
+        # reliably free up; the best speed is remembered across calls, which
+        # keeps all-slow platforms work-conserving (no starvation).
+        self.decline_slowdown_factor = decline_slowdown_factor
+        self._best_speed_seen = 0.0
+
+    def _estimated_finish(self, task: TaskInstance, state: NodeCapacity) -> float:
+        profile = task.profile
+        node = state.node
+        compute = (profile.duration_s if profile else 1.0) / node.speed_factor
+        transfer = 0.0
+        input_ids = task.reads
+        for datum_id in input_ids:
+            holders = self.locations.get_locations(datum_id)
+            if not holders or node.name in holders:
+                continue
+            size = self.locations.size_of(datum_id)
+            # Cheapest source among current holders.
+            transfer += min(
+                self.network.transfer_time(src, node.name, size) for src in holders
+            )
+        return transfer + compute
+
+    def select(
+        self, task: TaskInstance, candidates: List[NodeCapacity]
+    ) -> Optional[NodeCapacity]:
+        if not candidates:
+            return None
+        self._best_speed_seen = max(
+            self._best_speed_seen, max(s.node.speed_factor for s in candidates)
+        )
+        best = min(
+            candidates, key=lambda s: (self._estimated_finish(task, s), -s.free_cores)
+        )
+        if self.decline_slowdown_factor is not None and self._best_speed_seen > 0:
+            base = (task.profile.duration_s if task.profile else 1.0)
+            reference = base / self._best_speed_seen
+            if self._estimated_finish(task, best) > self.decline_slowdown_factor * reference:
+                return None  # waiting for a faster node beats occupying this one
+        return best

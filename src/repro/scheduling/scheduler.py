@@ -1,0 +1,115 @@
+"""The Task Scheduler component (Fig. 6): placement + capacity bookkeeping.
+
+Receives ready tasks from the Access Processor, filters nodes by the task's
+(possibly dynamically-evaluated) resource constraints, asks the configured
+policy to rank the survivors, and keeps the capacity ledger consistent as
+tasks start and finish.  Gang tasks (``nodes > 1`` — the MPI simulations of
+NMMB-Monarch) are co-allocated across several nodes atomically.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.constraints import ResolvedRequirements
+from repro.core.exceptions import ConstraintUnsatisfiableError
+from repro.core.graph import TaskInstance
+from repro.infrastructure.platform import Platform
+from repro.infrastructure.resources import Node
+from repro.scheduling.capacity import CapacityLedger, NodeCapacity
+from repro.scheduling.policies import FifoPolicy, SchedulingPolicy
+
+
+class TaskScheduler:
+    """Places task instances onto platform nodes under a pluggable policy."""
+
+    def __init__(
+        self,
+        platform: Platform,
+        policy: Optional[SchedulingPolicy] = None,
+        track_platform_changes: bool = True,
+    ) -> None:
+        self.platform = platform
+        self.policy = policy if policy is not None else FifoPolicy()
+        self.ledger = CapacityLedger(platform.alive_nodes)
+        if track_platform_changes:
+            platform.on_node_join(self._on_node_join)
+            platform.on_node_leave(self._on_node_leave)
+
+    # --------------------------------------------------------------- events
+
+    def _on_node_join(self, node: Node) -> None:
+        if not self.ledger.has_node(node.name):
+            self.ledger.add_node(node)
+
+    def _on_node_leave(self, node: Node) -> None:
+        if self.ledger.has_node(node.name):
+            self.ledger.remove_node(node.name)
+
+    # ------------------------------------------------------------ placement
+
+    def check_satisfiable(self, req: ResolvedRequirements) -> None:
+        """Raise if no current node could ever host the demand."""
+        if not self.ledger.any_ever_fits(req):
+            raise ConstraintUnsatisfiableError(
+                f"no node satisfies cores={req.cores} memory_mb={req.memory_mb} "
+                f"gpus={req.gpus} software={sorted(req.software)}"
+            )
+
+    def try_place(self, task: TaskInstance) -> Optional[List[str]]:
+        """Attempt to place ``task`` now.
+
+        On success the required resources are allocated and the list of node
+        names (length ``req.nodes``) is returned; on failure returns None and
+        nothing is allocated.
+        """
+        req = task.requirements
+        if req.nodes == 1:
+            chosen = self.policy.select(task, self.ledger.candidates(req))
+            if chosen is None:
+                return None
+            chosen.allocate(task.task_id, req)
+            return [chosen.node.name]
+        return self._try_place_gang(task, req)
+
+    def _try_place_gang(
+        self, task: TaskInstance, req: ResolvedRequirements
+    ) -> Optional[List[str]]:
+        candidates = self.ledger.candidates(req)
+        if len(candidates) < req.nodes:
+            return None
+        # Rank with the policy by repeatedly asking it for its best pick.
+        chosen: List[NodeCapacity] = []
+        pool = list(candidates)
+        for _ in range(req.nodes):
+            pick = self.policy.select(task, pool)
+            if pick is None:
+                break
+            chosen.append(pick)
+            pool.remove(pick)
+        if len(chosen) < req.nodes:
+            return None
+        for state in chosen:
+            state.allocate(task.task_id, req)
+        return [state.node.name for state in chosen]
+
+    def release(self, task: TaskInstance) -> None:
+        """Free the resources a placed task held (on completion or failure)."""
+        req = task.requirements
+        nodes = task.assigned_nodes or (
+            [task.assigned_node] if task.assigned_node else []
+        )
+        for name in nodes:
+            if self.ledger.has_node(name):
+                state = self.ledger.state(name)
+                if task.task_id in state.running_task_ids:
+                    state.release(task.task_id, req)
+
+    # -------------------------------------------------------------- queries
+
+    def idle_nodes(self) -> List[str]:
+        return self.ledger.idle_nodes()
+
+    @property
+    def total_free_cores(self) -> int:
+        return self.ledger.total_free_cores

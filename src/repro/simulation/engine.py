@@ -1,0 +1,112 @@
+"""The discrete-event simulation engine.
+
+A :class:`SimulationEngine` owns a virtual clock and an event queue and runs
+events in deterministic timestamp order.  Subsystems (schedulers, network
+model, failure injectors, elasticity controllers) schedule callbacks with
+:meth:`at` / :meth:`after`; the engine dispatches them until the queue drains
+or an explicit stop condition fires.
+
+The engine is deliberately minimal — no coroutines, no implicit processes —
+because the callers in this codebase (the simulated executor, the agents
+substrate) are themselves state machines that only need "call me at time t".
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.simulation.clock import SimClock
+from repro.simulation.events import Event, EventQueue
+
+
+class SimulationError(RuntimeError):
+    """Raised for unrecoverable simulation conditions (e.g. runaway loops)."""
+
+
+class SimulationEngine:
+    """Deterministic discrete-event loop.
+
+    Attributes:
+        clock: the virtual clock, advanced as events dispatch.
+        max_events: safety valve; exceeding it raises :class:`SimulationError`
+            so an accidentally self-rescheduling event cannot hang a test run.
+    """
+
+    def __init__(self, start: float = 0.0, max_events: int = 50_000_000) -> None:
+        self.clock = SimClock(start)
+        self.queue = EventQueue()
+        self.max_events = max_events
+        self._dispatched = 0
+        self._stopped = False
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self.clock.now
+
+    @property
+    def dispatched_events(self) -> int:
+        """Number of events dispatched so far (for diagnostics)."""
+        return self._dispatched
+
+    def at(
+        self,
+        time: float,
+        action: Callable[[], Any],
+        priority: int = 0,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``action`` at absolute virtual ``time``."""
+        if time < self.clock.now:
+            raise SimulationError(
+                f"cannot schedule event {label!r} at {time:.6f}, "
+                f"which is before now ({self.clock.now:.6f})"
+            )
+        return self.queue.push(time, action, priority=priority, label=label)
+
+    def after(
+        self,
+        delay: float,
+        action: Callable[[], Any],
+        priority: int = 0,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``action`` ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r} for event {label!r}")
+        return self.at(self.clock.now + delay, action, priority=priority, label=label)
+
+    def stop(self) -> None:
+        """Request the run loop to exit after the current event."""
+        self._stopped = True
+
+    def step(self) -> bool:
+        """Dispatch a single event.  Returns False when the queue is empty."""
+        event = self.queue.pop()
+        if event is None:
+            return False
+        self.clock.advance_to(event.time)
+        self._dispatched += 1
+        if self._dispatched > self.max_events:
+            raise SimulationError(
+                f"dispatched more than {self.max_events} events; "
+                "likely a self-rescheduling loop"
+            )
+        event.action()
+        return True
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the queue drains, :meth:`stop` is called, or ``until``.
+
+        Returns the final virtual time.
+        """
+        self._stopped = False
+        while not self._stopped:
+            next_time = self.queue.peek_time()
+            if next_time is None:
+                break
+            if until is not None and next_time > until:
+                self.clock.advance_to(until)
+                break
+            self.step()
+        return self.clock.now

@@ -1,0 +1,92 @@
+"""Event and event-queue primitives for the DES kernel.
+
+Events are ordered by ``(time, priority, sequence)``.  The sequence number
+makes ordering total and deterministic: two events scheduled for the same
+instant with the same priority are dispatched in scheduling order, which is
+what makes simulated schedules reproducible run-to-run.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+
+@dataclass(order=True)
+class Event:
+    """A single scheduled event.
+
+    Attributes:
+        time: virtual timestamp at which the event fires.
+        priority: tie-breaker for events at the same instant (lower first).
+        sequence: monotonically increasing scheduling order (assigned by the
+            queue); makes ordering total.
+        action: zero-argument callable executed when the event fires.
+        label: human-readable tag used in traces and error messages.
+        cancelled: cancelled events are skipped when popped.
+    """
+
+    time: float
+    priority: int
+    sequence: int
+    action: Callable[[], Any] = field(compare=False)
+    label: str = field(default="", compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the queue drops it instead of firing it."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """A deterministic priority queue of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        """Number of live (non-cancelled) events; O(n), diagnostics only."""
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def __bool__(self) -> bool:
+        return any(not event.cancelled for event in self._heap)
+
+    def push(
+        self,
+        time: float,
+        action: Callable[[], Any],
+        priority: int = 0,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``action`` at virtual ``time`` and return the Event.
+
+        The returned handle can be cancelled with :meth:`Event.cancel`.
+        """
+        event = Event(
+            time=time,
+            priority=priority,
+            sequence=next(self._counter),
+            action=action,
+            label=label,
+        )
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the earliest non-cancelled event, or None."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Return the timestamp of the next live event without removing it."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if self._heap:
+            return self._heap[0].time
+        return None

@@ -1,0 +1,71 @@
+"""Seeded randomness for simulations and workload generators.
+
+All stochastic behaviour in the simulator flows through one of these streams
+so that every experiment is reproducible from its seed.  Independent
+subsystems derive independent child streams (``fork``) to keep their draws
+decoupled: adding a draw in the network model must not change the durations a
+workload generator produces.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+class DeterministicRandom:
+    """A named, seeded random stream with distribution helpers."""
+
+    def __init__(self, seed: int = 0, name: str = "root") -> None:
+        self.seed = seed
+        self.name = name
+        self._rng = random.Random(seed)
+
+    def fork(self, name: str) -> "DeterministicRandom":
+        """Derive an independent child stream keyed by ``name``.
+
+        The child's seed depends only on the parent seed and the name, never
+        on how many draws the parent has made.
+        """
+        child_seed = hash((self.seed, name)) & 0x7FFFFFFF
+        return DeterministicRandom(seed=child_seed, name=f"{self.name}/{name}")
+
+    def uniform(self, low: float, high: float) -> float:
+        return self._rng.uniform(low, high)
+
+    def randint(self, low: int, high: int) -> int:
+        return self._rng.randint(low, high)
+
+    def random(self) -> float:
+        return self._rng.random()
+
+    def choice(self, items: Sequence[T]) -> T:
+        return self._rng.choice(items)
+
+    def shuffle(self, items: list) -> None:
+        self._rng.shuffle(items)
+
+    def exponential(self, mean: float) -> float:
+        """Exponentially distributed sample with the given mean."""
+        if mean <= 0:
+            raise ValueError(f"mean must be positive, got {mean!r}")
+        return self._rng.expovariate(1.0 / mean)
+
+    def lognormal(self, median: float, sigma: float) -> float:
+        """Log-normal sample, parameterized by its median (heavy-tailed durations)."""
+        if median <= 0:
+            raise ValueError(f"median must be positive, got {median!r}")
+        import math
+
+        return self._rng.lognormvariate(math.log(median), sigma)
+
+    def pareto(self, shape: float, scale: float = 1.0) -> float:
+        """Pareto sample: heavy-tailed, minimum value = scale."""
+        if shape <= 0:
+            raise ValueError(f"shape must be positive, got {shape!r}")
+        return scale * (self._rng.paretovariate(shape))
+
+    def __repr__(self) -> str:
+        return f"DeterministicRandom(seed={self.seed}, name={self.name!r})"

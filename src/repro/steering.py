@@ -1,0 +1,116 @@
+"""Computational steering: inspect partial results, redirect long runs.
+
+The paper (§VI-C): storing partial results in HDA-friendly databases "allows
+scientists to check partial results before their long-lasting simulations
+end the execution. This checking enables to detect in early stages if the
+simulation is not behaving as expected and should be steered".
+
+:class:`SteeringMonitor` wires that loop onto the simulated executor: a
+user-supplied inspector runs on every completed task (receiving the task
+and a snapshot window of recent completions) and may return an action —
+``CONTINUE``, ``ABORT`` (stop wasting the allocation), or a callable that
+mutates upcoming work (e.g. re-parameterize pending tasks).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Union
+
+from repro.core.graph import TaskGraph, TaskInstance, TaskState
+from repro.executor.simulated import SimulatedExecutor
+
+
+class SteeringAction(enum.Enum):
+    CONTINUE = "continue"
+    ABORT = "abort"
+
+
+#: An inspector sees the finished task plus the recent-completions window
+#: and returns CONTINUE/ABORT or a callable applied to the graph (steering).
+Inspector = Callable[[TaskInstance, List[TaskInstance]], Union[SteeringAction, Callable[[TaskGraph], None]]]
+
+
+@dataclass
+class SteeringReport:
+    """What the monitor observed and did."""
+
+    inspected: int = 0
+    aborted: bool = False
+    abort_time: Optional[float] = None
+    abort_task: Optional[str] = None
+    interventions: int = 0
+    saved_task_count: int = 0
+
+
+class SteeringMonitor:
+    """Attaches partial-result inspection to a simulated execution."""
+
+    def __init__(
+        self,
+        executor: SimulatedExecutor,
+        inspector: Inspector,
+        window: int = 16,
+    ) -> None:
+        self.executor = executor
+        self.inspector = inspector
+        self.window = window
+        self.report = SteeringReport()
+        self._recent: List[TaskInstance] = []
+        self._install()
+
+    def _install(self) -> None:
+        original_complete = self.executor._complete_task
+
+        def wrapped(task_id: int) -> None:
+            graph = self.executor.graph
+            instance = graph.task(task_id)
+            original_complete(task_id)
+            if self.report.aborted:
+                # In-flight tasks may still complete and release successors;
+                # sweep them so the abort actually drains the run.
+                self._sweep()
+                return
+            if instance.state is not TaskState.DONE:
+                return
+            self._recent.append(instance)
+            if len(self._recent) > self.window:
+                self._recent.pop(0)
+            self.report.inspected += 1
+            outcome = self.inspector(instance, list(self._recent))
+            if outcome is SteeringAction.ABORT:
+                self._abort(instance)
+            elif callable(outcome):
+                self.report.interventions += 1
+                outcome(graph)
+
+        self.executor._complete_task = wrapped  # type: ignore[method-assign]
+
+    def _abort(self, trigger: TaskInstance) -> None:
+        graph = self.executor.graph
+        engine = self.executor.engine
+        self.report.aborted = True
+        self.report.abort_time = engine.now
+        self.report.abort_task = trigger.label
+        remaining = [
+            t
+            for t in graph.tasks
+            if t.state in (TaskState.PENDING, TaskState.READY)
+        ]
+        self.report.saved_task_count = len(remaining)
+        self._sweep()
+
+    def _sweep(self) -> None:
+        """Fail every READY task; PENDING ones cancel transitively or get
+        swept once a completing ancestor promotes them to READY."""
+        graph = self.executor.graph
+        engine = self.executor.engine
+        error = RuntimeError(
+            f"steered abort after {self.report.abort_task or 'inspection'}"
+        )
+        for instance in list(graph.tasks):
+            if instance.state is TaskState.READY:
+                graph.mark_failed(instance.task_id, error, now=engine.now)
+        if graph.finished:
+            engine.stop()

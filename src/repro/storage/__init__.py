@@ -1,0 +1,40 @@
+"""Persistent storage integration (DESIGN.md S8–S10).
+
+Implements the paper's storage interface (§VI-A1): the Storage Object
+Interface (SOI) that application code uses (``make_persistent``), the Storage
+Runtime Interface (SRI) the runtime uses (``getLocations`` → locality
+scheduling), and two backends mirroring the BSC storage stack of Fig. 4:
+
+* :mod:`repro.storage.keyvalue` — a Hecuba analogue: a partitioned,
+  replicated key-value store with a consistent-hash ring (Cassandra-style)
+  and a ``StorageDict`` mapping Python dictionaries onto its tables;
+* :mod:`repro.storage.activeobject` — a dataClay analogue: an active object
+  store with a class registry whose methods execute *inside* the store,
+  minimizing data transfers.
+"""
+
+from repro.storage.interface import (
+    StorageBackend,
+    StorageObject,
+    StorageRuntime,
+    get_storage_runtime,
+    set_storage_runtime,
+    estimate_size,
+)
+from repro.storage.keyvalue import ConsistentHashRing, KeyValueCluster, StorageDict
+from repro.storage.activeobject import ActiveObject, ActiveObjectStore, ClassRegistry
+
+__all__ = [
+    "StorageBackend",
+    "StorageObject",
+    "StorageRuntime",
+    "get_storage_runtime",
+    "set_storage_runtime",
+    "estimate_size",
+    "ConsistentHashRing",
+    "KeyValueCluster",
+    "StorageDict",
+    "ActiveObject",
+    "ActiveObjectStore",
+    "ClassRegistry",
+]

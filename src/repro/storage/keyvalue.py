@@ -1,0 +1,263 @@
+"""Hecuba analogue: a partitioned, replicated key-value store.
+
+"Hecuba ... aims to facilitate programmers the utilization of key-value
+datastores ... the most representative case is the mapping of Python
+dictionaries into Cassandra tables." (§VI-A1)
+
+The Cassandra/ScyllaDB substitution (DESIGN.md §2) is a consistent-hash ring
+over named storage nodes with N-way replication.  What the reproduction
+needs from it — and what this module provides — is:
+
+* stable key→node placement so ``getLocations`` is meaningful;
+* replica survival when a node fails (claim C5's recovery path);
+* :class:`StorageDict`, the dict-as-table mapping, with Hecuba's ``split()``
+  so tasks can iterate partitions data-locally (claim C4).
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.core.exceptions import StorageError
+from repro.storage.interface import estimate_size
+
+
+def _hash64(value: str) -> int:
+    """Stable 64-bit hash (Python's hash() is salted per process)."""
+    return int.from_bytes(
+        hashlib.blake2b(value.encode("utf-8"), digest_size=8).digest(), "big"
+    )
+
+
+class ConsistentHashRing:
+    """Consistent hashing with virtual nodes.
+
+    Placement of a key is stable under unrelated node joins/leaves: only keys
+    whose arc is affected move (the property the paper's storage backends get
+    from Cassandra).
+    """
+
+    def __init__(self, virtual_nodes: int = 64) -> None:
+        if virtual_nodes < 1:
+            raise ValueError("virtual_nodes must be >= 1")
+        self.virtual_nodes = virtual_nodes
+        self._ring: List[Tuple[int, str]] = []
+        self._hashes: List[int] = []
+        self._nodes: Set[str] = set()
+
+    @property
+    def nodes(self) -> Set[str]:
+        return set(self._nodes)
+
+    def add_node(self, node: str) -> None:
+        if node in self._nodes:
+            raise StorageError(f"node {node!r} already on the ring")
+        self._nodes.add(node)
+        for v in range(self.virtual_nodes):
+            token = _hash64(f"{node}@{v}")
+            index = bisect.bisect(self._hashes, token)
+            self._hashes.insert(index, token)
+            self._ring.insert(index, (token, node))
+
+    def remove_node(self, node: str) -> None:
+        if node not in self._nodes:
+            raise StorageError(f"node {node!r} not on the ring")
+        self._nodes.discard(node)
+        keep = [(t, n) for t, n in self._ring if n != node]
+        self._ring = keep
+        self._hashes = [t for t, _ in keep]
+
+    def replicas_for(self, key: str, count: int) -> List[str]:
+        """The ``count`` distinct nodes responsible for ``key``, in ring order."""
+        if not self._nodes:
+            raise StorageError("ring has no nodes")
+        count = min(count, len(self._nodes))
+        token = _hash64(str(key))
+        start = bisect.bisect(self._hashes, token) % len(self._ring)
+        chosen: List[str] = []
+        index = start
+        while len(chosen) < count:
+            node = self._ring[index][1]
+            if node not in chosen:
+                chosen.append(node)
+            index = (index + 1) % len(self._ring)
+        return chosen
+
+    def primary_for(self, key: str) -> str:
+        return self.replicas_for(key, 1)[0]
+
+
+class KeyValueCluster:
+    """An in-process cluster of key-value storage nodes.
+
+    Implements the :class:`~repro.storage.interface.StorageBackend` protocol,
+    so it can serve as an SRI backend, and additionally exposes the
+    cell-level operations :class:`StorageDict` needs.
+    """
+
+    def __init__(
+        self,
+        node_names: Iterable[str],
+        replication: int = 2,
+        name: str = "hecuba",
+        virtual_nodes: int = 64,
+    ) -> None:
+        self.name = name
+        self.replication = max(1, replication)
+        self.ring = ConsistentHashRing(virtual_nodes=virtual_nodes)
+        self._data: Dict[str, Dict[str, Any]] = {}
+        self._alive: Set[str] = set()
+        for node in node_names:
+            self.add_node(node)
+        if not self._alive:
+            raise StorageError("key-value cluster needs at least one node")
+        # Metrics: bytes written/read across the (virtual) wire.
+        self.bytes_written = 0
+        self.bytes_read = 0
+
+    # ---------------------------------------------------------------- nodes
+
+    @property
+    def alive_nodes(self) -> Set[str]:
+        return set(self._alive)
+
+    def add_node(self, node: str) -> None:
+        self.ring.add_node(node)
+        self._data.setdefault(node, {})
+        self._alive.add(node)
+
+    def fail_node(self, node: str) -> None:
+        """Simulate a storage node crash: its replicas become unavailable."""
+        if node not in self._alive:
+            raise StorageError(f"node {node!r} is not alive")
+        self._alive.discard(node)
+        self.ring.remove_node(node)
+        self._data[node] = {}
+
+    # ----------------------------------------------------------- operations
+
+    def _replicas(self, key: str) -> List[str]:
+        return self.ring.replicas_for(str(key), self.replication)
+
+    def put(self, object_id: str, value: Any) -> Set[str]:
+        size = estimate_size(value)
+        holders = self._replicas(object_id)
+        for node in holders:
+            self._data[node][object_id] = value
+            self.bytes_written += size
+        return set(holders)
+
+    def get(self, object_id: str) -> Any:
+        for node in self._replicas(object_id):
+            if node in self._alive and object_id in self._data[node]:
+                value = self._data[node][object_id]
+                self.bytes_read += estimate_size(value)
+                return value
+        raise StorageError(f"object {object_id!r} not found in {self.name!r}")
+
+    def delete(self, object_id: str) -> None:
+        found = False
+        for node in list(self._data):
+            if object_id in self._data[node]:
+                del self._data[node][object_id]
+                found = True
+        if not found:
+            raise StorageError(f"object {object_id!r} not found in {self.name!r}")
+
+    def exists(self, object_id: str) -> bool:
+        return any(
+            object_id in self._data[node] for node in self._alive
+        )
+
+    def get_locations(self, object_id: str) -> Set[str]:
+        """SRI getLocations: alive nodes currently holding the object."""
+        return {
+            node
+            for node in self._alive
+            if object_id in self._data.get(node, {})
+        }
+
+    def keys_on_node(self, node: str) -> List[str]:
+        """Keys whose *primary* replica lives on ``node`` (split support)."""
+        if node not in self._alive:
+            return []
+        return [
+            key for key in self._data[node] if self.ring.primary_for(key) == node
+        ]
+
+
+class StorageDict:
+    """Hecuba's headline feature: a Python dict backed by the cluster.
+
+    Cells are addressed as ``{table}:{key}``; iteration order follows
+    insertion.  :meth:`split` yields per-node partitions so a workflow can
+    spawn one task per partition and the locality scheduler can run each
+    task where its partition's primary replica lives (claim C4).
+    """
+
+    def __init__(self, cluster: KeyValueCluster, table: str) -> None:
+        self.cluster = cluster
+        self.table = table
+        self._keys: List[Any] = []
+
+    def _cell(self, key: Any) -> str:
+        return f"{self.table}:{key!r}"
+
+    def __setitem__(self, key: Any, value: Any) -> None:
+        if key not in self._keys:
+            self._keys.append(key)
+        self.cluster.put(self._cell(key), value)
+
+    def __getitem__(self, key: Any) -> Any:
+        if key not in self._keys:
+            raise KeyError(key)
+        return self.cluster.get(self._cell(key))
+
+    def __delitem__(self, key: Any) -> None:
+        if key not in self._keys:
+            raise KeyError(key)
+        self._keys.remove(key)
+        self.cluster.delete(self._cell(key))
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._keys
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(list(self._keys))
+
+    def keys(self) -> List[Any]:
+        return list(self._keys)
+
+    def items(self) -> Iterator[Tuple[Any, Any]]:
+        for key in list(self._keys):
+            yield key, self[key]
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        if key in self._keys:
+            return self[key]
+        return default
+
+    def update(self, mapping: Dict[Any, Any]) -> None:
+        for key, value in mapping.items():
+            self[key] = value
+
+    def location_of(self, key: Any) -> Set[str]:
+        """Nodes holding replicas of one cell (SRI passthrough)."""
+        return self.cluster.get_locations(self._cell(key))
+
+    def split(self) -> Dict[str, List[Any]]:
+        """Partition keys by the node holding their primary replica.
+
+        Returns ``{node_name: [keys...]}`` — the Hecuba ``split()`` used to
+        generate one data-local task per partition.
+        """
+        partitions: Dict[str, List[Any]] = {}
+        for key in self._keys:
+            primary = self.cluster.ring.primary_for(self._cell(key))
+            partitions.setdefault(primary, []).append(key)
+        return partitions

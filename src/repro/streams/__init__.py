@@ -1,0 +1,34 @@
+"""Streaming dataflows across the continuum (§I, §III).
+
+"the systems where future scientific workflows are to be executed will also
+include edge devices like sensors or scientific instruments that will
+stream continuous flows of data and similarly the scientists expect results
+to be streamed out for monitoring, streaming and visualization of the
+scientific results to enable interactivity."
+
+The subsystem runs in virtual time on the DES engine:
+
+* :class:`SensorSource` — an edge device emitting readings on a period
+  (with jitter) into a :class:`DataStream`;
+* :class:`DataStream` — an append-only, subscribable channel of timestamped
+  elements;
+* :class:`WindowedProcessor` — closes tumbling windows over a stream and
+  runs one processing task per window on a platform node, publishing
+  results (with their end-to-end latency) to an output stream;
+* :class:`BatchCollector` — the baseline: accumulate everything, process
+  once at the end (today's fragmented offline pipeline), for the
+  streaming-vs-batch latency comparison (experiment E14).
+"""
+
+from repro.streams.stream import DataStream, StreamElement
+from repro.streams.sources import SensorSource
+from repro.streams.processing import WindowedProcessor, BatchCollector, WindowResult
+
+__all__ = [
+    "DataStream",
+    "StreamElement",
+    "SensorSource",
+    "WindowedProcessor",
+    "BatchCollector",
+    "WindowResult",
+]

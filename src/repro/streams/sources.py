@@ -1,0 +1,76 @@
+"""Stream sources: sensors and instruments at the edge."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.random import DeterministicRandom
+from repro.streams.stream import DataStream, StreamElement
+
+
+class SensorSource:
+    """An edge sensor publishing readings on a (jittered) period.
+
+    Args:
+        engine: the DES engine driving virtual time.
+        stream: the channel readings are published to.
+        name: sensor identity (stamped on elements).
+        period_s: nominal inter-reading period.
+        jitter: relative uniform jitter on the period (0 = strictly periodic).
+        reading_fn: maps (sequence_number, rng) to the reading value;
+            defaults to a unit-mean noisy signal.
+        until: stop emitting at this virtual time (None = run forever —
+            callers must then bound the engine run themselves).
+    """
+
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        stream: DataStream,
+        name: str = "sensor",
+        period_s: float = 1.0,
+        jitter: float = 0.0,
+        reading_fn: Optional[Callable[[int, DeterministicRandom], float]] = None,
+        until: Optional[float] = None,
+        seed: int = 0,
+    ) -> None:
+        if period_s <= 0:
+            raise ValueError("period_s must be positive")
+        if not 0 <= jitter < 1:
+            raise ValueError("jitter must be in [0, 1)")
+        self.engine = engine
+        self.stream = stream
+        self.name = name
+        self.period_s = period_s
+        self.jitter = jitter
+        self.until = until
+        self.reading_fn = reading_fn or (
+            lambda seq, rng: 1.0 + 0.1 * (rng.random() - 0.5)
+        )
+        self.rng = DeterministicRandom(seed=seed, name=name)
+        self.emitted = 0
+        self._started = False
+
+    def start(self, at: float = 0.0) -> None:
+        if self._started:
+            raise RuntimeError(f"sensor {self.name!r} already started")
+        self._started = True
+        self.engine.at(max(at, self.engine.now), self._emit, label=f"{self.name}-emit")
+
+    def _next_delay(self) -> float:
+        if self.jitter == 0:
+            return self.period_s
+        spread = self.period_s * self.jitter
+        return self.period_s + self.rng.uniform(-spread, spread)
+
+    def _emit(self) -> None:
+        now = self.engine.now
+        if self.until is not None and now > self.until:
+            return
+        value = self.reading_fn(self.emitted, self.rng)
+        self.stream.publish(StreamElement(timestamp=now, value=value, source=self.name))
+        self.emitted += 1
+        next_time = now + self._next_delay()
+        if self.until is None or next_time <= self.until:
+            self.engine.at(next_time, self._emit, label=f"{self.name}-emit")

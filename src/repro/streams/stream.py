@@ -1,0 +1,64 @@
+"""The stream channel: timestamped elements plus subscriptions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, List
+
+
+@dataclass(frozen=True)
+class StreamElement:
+    """One element on a stream."""
+
+    timestamp: float
+    value: Any
+    source: str = ""
+
+
+class DataStream:
+    """An append-only channel; subscribers see elements as they arrive.
+
+    Publication happens in virtual time (whoever calls ``publish`` does so
+    from a simulation event); subscribers are synchronous callbacks, which
+    is all the DES needs — any delay they model is scheduled by themselves.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._elements: List[StreamElement] = []
+        self._subscribers: List[Callable[[StreamElement], None]] = []
+        self._closed = False
+
+    def __len__(self) -> int:
+        return len(self._elements)
+
+    @property
+    def elements(self) -> List[StreamElement]:
+        return list(self._elements)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def publish(self, element: StreamElement) -> None:
+        if self._closed:
+            raise RuntimeError(f"stream {self.name!r} is closed")
+        if self._elements and element.timestamp < self._elements[-1].timestamp:
+            raise ValueError(
+                f"stream {self.name!r}: element timestamp {element.timestamp} "
+                f"precedes the last published {self._elements[-1].timestamp}"
+            )
+        self._elements.append(element)
+        for subscriber in self._subscribers:
+            subscriber(element)
+
+    def subscribe(self, callback: Callable[[StreamElement], None]) -> None:
+        self._subscribers.append(callback)
+
+    def close(self) -> None:
+        """No further elements; processors flush pending windows."""
+        self._closed = True
+
+    def since(self, timestamp: float) -> List[StreamElement]:
+        """Elements with timestamp >= the given instant."""
+        return [e for e in self._elements if e.timestamp >= timestamp]

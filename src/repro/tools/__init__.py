@@ -1,0 +1,1 @@
+"""Command-line tools for running and analyzing simulated workflows."""

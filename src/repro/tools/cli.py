@@ -1,0 +1,214 @@
+"""The ``repro`` command-line interface.
+
+Usage (also via ``python -m repro``)::
+
+    python -m repro info
+    python -m repro simulate --workload guidance --nodes 16 --policy locality
+    python -m repro simulate --workload nmmb --days 4 --nodes 6
+    python -m repro analyze --workload guidance --chunks 8
+    python -m repro run-text path/to/workflow.txt --nodes 4
+
+``simulate`` executes a generated workload on a simulated cluster and prints
+the report; ``analyze`` prints the workflow-model metrics (work, depth,
+parallelism, speedup bounds); ``run-text`` executes a textual workflow
+description (see :mod:`repro.frontends.text`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro import __version__
+from repro.executor import SimulatedExecutor
+from repro.infrastructure import make_hpc_cluster
+from repro.metrics.model import analyze_graph
+from repro.scheduling import (
+    DataLocationService,
+    EnergyAwarePolicy,
+    FifoPolicy,
+    LoadBalancingPolicy,
+    LocalityPolicy,
+)
+from repro.workloads import (
+    GuidanceConfig,
+    NmmbConfig,
+    build_guidance_workflow,
+    build_nmmb_workflow,
+    embarrassingly_parallel,
+    task_chain,
+)
+
+WORKLOADS = ("guidance", "nmmb", "ep", "chain")
+POLICIES = ("fifo", "load-balancing", "locality", "energy")
+
+
+def _build_workload(args: argparse.Namespace):
+    """Returns (builder-ish with .graph, initial_data dict)."""
+    if args.workload == "guidance":
+        workload = build_guidance_workflow(
+            GuidanceConfig(
+                chromosomes=args.chromosomes, chunks_per_chromosome=args.chunks
+            )
+        )
+        return workload.builder, workload.initial_data
+    if args.workload == "nmmb":
+        builder = build_nmmb_workflow(NmmbConfig(days=args.days))
+        return builder, builder.initial_data
+    if args.workload == "ep":
+        builder = embarrassingly_parallel(args.tasks, duration=args.duration)
+        return builder, builder.initial_data
+    if args.workload == "chain":
+        builder = task_chain(args.tasks, duration=args.duration)
+        return builder, builder.initial_data
+    raise SystemExit(f"unknown workload {args.workload!r}")
+
+
+def _make_policy(name: str, locations: DataLocationService):
+    if name == "fifo":
+        return FifoPolicy()
+    if name == "load-balancing":
+        return LoadBalancingPolicy()
+    if name == "locality":
+        return LocalityPolicy(locations)
+    if name == "energy":
+        return EnergyAwarePolicy()
+    raise SystemExit(f"unknown policy {name!r}")
+
+
+def cmd_info(args: argparse.Namespace, out) -> int:
+    print(f"repro {__version__}", file=out)
+    print(
+        "Reproduction of 'Workflow Environments for Advanced "
+        "Cyberinfrastructure Platforms' (ICDCS 2019)",
+        file=out,
+    )
+    print(f"workloads: {', '.join(WORKLOADS)}", file=out)
+    print(f"policies : {', '.join(POLICIES)}", file=out)
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace, out) -> int:
+    builder, initial_data = _build_workload(args)
+    platform = make_hpc_cluster(args.nodes, cores_per_node=args.cores_per_node)
+    locations = DataLocationService()
+    executor = SimulatedExecutor(
+        builder.graph,
+        platform,
+        policy=_make_policy(args.policy, locations),
+        locations=locations,
+        initial_data=initial_data,
+    )
+    report = executor.run()
+    print(f"workload : {args.workload} ({report.tasks_done} tasks)", file=out)
+    print(f"platform : {args.nodes} nodes x {args.cores_per_node} cores", file=out)
+    print(f"policy   : {args.policy}", file=out)
+    print(f"makespan : {report.makespan:.1f} s ({report.makespan / 3600:.2f} h)", file=out)
+    print(f"moved    : {report.bytes_transferred / 1e9:.2f} GB", file=out)
+    print(f"energy   : {report.energy_joules / 3.6e6:.3f} kWh", file=out)
+    if report.tasks_failed:
+        print(f"FAILED   : {report.tasks_failed} tasks", file=out)
+        return 1
+    return 0
+
+
+def cmd_analyze(args: argparse.Namespace, out) -> int:
+    builder, _ = _build_workload(args)
+    model = analyze_graph(builder.graph)
+    print(f"workload            : {args.workload}", file=out)
+    print(f"tasks               : {model.task_count}", file=out)
+    print(f"total work          : {model.total_work_s / 3600:.2f} core-hours", file=out)
+    print(f"critical path       : {model.critical_path_s / 3600:.2f} h", file=out)
+    print(f"average parallelism : {model.average_parallelism:.1f}", file=out)
+    print(f"max width           : {model.max_width}", file=out)
+    for cores in (48, 480, 4800):
+        print(
+            f"speedup bound @ {cores:5d} cores: {model.speedup_bound(cores):8.1f}",
+            file=out,
+        )
+    return 0
+
+
+def cmd_timeline(args: argparse.Namespace, out) -> int:
+    from repro.metrics.gantt import render_gantt
+
+    builder, initial_data = _build_workload(args)
+    platform = make_hpc_cluster(args.nodes, cores_per_node=args.cores_per_node)
+    SimulatedExecutor(
+        builder.graph, platform, initial_data=initial_data
+    ).run()
+    print(render_gantt(builder.graph, width=args.width), file=out)
+    return 0
+
+
+def cmd_run_text(args: argparse.Namespace, out) -> int:
+    from repro.frontends import parse_workflow_text
+
+    with open(args.path) as handle:
+        builder = parse_workflow_text(handle.read())
+    platform = make_hpc_cluster(args.nodes, cores_per_node=args.cores_per_node)
+    report = SimulatedExecutor(
+        builder.graph, platform, initial_data=builder.initial_data
+    ).run()
+    print(f"tasks    : {report.tasks_done}", file=out)
+    print(f"makespan : {report.makespan:.1f} s", file=out)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Simulate and analyze continuum workflows."
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("info", help="library and capability summary")
+
+    def add_workload_options(sub):
+        sub.add_argument("--workload", choices=WORKLOADS, default="guidance")
+        sub.add_argument("--chromosomes", type=int, default=8)
+        sub.add_argument("--chunks", type=int, default=8)
+        sub.add_argument("--days", type=int, default=2)
+        sub.add_argument("--tasks", type=int, default=100)
+        sub.add_argument("--duration", type=float, default=10.0)
+
+    simulate = subparsers.add_parser("simulate", help="run a workload on a simulated cluster")
+    add_workload_options(simulate)
+    simulate.add_argument("--nodes", type=int, default=4)
+    simulate.add_argument("--cores-per-node", type=int, default=48)
+    simulate.add_argument("--policy", choices=POLICIES, default="load-balancing")
+
+    analyze = subparsers.add_parser("analyze", help="print workflow-model metrics")
+    add_workload_options(analyze)
+
+    run_text = subparsers.add_parser("run-text", help="execute a textual workflow file")
+    run_text.add_argument("path")
+    run_text.add_argument("--nodes", type=int, default=4)
+    run_text.add_argument("--cores-per-node", type=int, default=48)
+
+    timeline = subparsers.add_parser(
+        "timeline", help="simulate a workload and render an ASCII Gantt chart"
+    )
+    add_workload_options(timeline)
+    timeline.add_argument("--nodes", type=int, default=4)
+    timeline.add_argument("--cores-per-node", type=int, default=48)
+    timeline.add_argument("--width", type=int, default=72)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    out = out if out is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+    handler = {
+        "info": cmd_info,
+        "simulate": cmd_simulate,
+        "analyze": cmd_analyze,
+        "run-text": cmd_run_text,
+        "timeline": cmd_timeline,
+    }[args.command]
+    return handler(args, out)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

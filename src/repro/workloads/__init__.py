@@ -1,0 +1,32 @@
+"""Workload generators (DESIGN.md S13): the paper's case studies, scaled.
+
+Synthetic equivalents of the applications the paper evaluates the COMPSs
+model on — the substitution rule in action (DESIGN.md §2): the DAG shapes,
+duration distributions and memory demands follow §VI-A's description, while
+absolute magnitudes are scaled to simulate quickly.
+"""
+
+from repro.workloads.guidance import (
+    GuidanceConfig,
+    GuidanceWorkload,
+    build_guidance_workflow,
+)
+from repro.workloads.nmmb import NmmbConfig, build_nmmb_workflow
+from repro.workloads.synthetic import (
+    embarrassingly_parallel,
+    task_chain,
+    fork_join_dag,
+    layered_random_dag,
+)
+
+__all__ = [
+    "GuidanceConfig",
+    "GuidanceWorkload",
+    "build_guidance_workflow",
+    "NmmbConfig",
+    "build_nmmb_workflow",
+    "embarrassingly_parallel",
+    "task_chain",
+    "fork_join_dag",
+    "layered_random_dag",
+]

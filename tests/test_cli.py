@@ -1,0 +1,92 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.tools.cli import main
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestInfo:
+    def test_info_prints_version_and_capabilities(self):
+        code, output = run_cli("info")
+        assert code == 0
+        assert "repro" in output
+        assert "guidance" in output
+        assert "locality" in output
+
+
+class TestSimulate:
+    def test_simulate_guidance(self):
+        code, output = run_cli(
+            "simulate", "--workload", "guidance",
+            "--chromosomes", "2", "--chunks", "2", "--nodes", "2",
+        )
+        assert code == 0
+        assert "makespan" in output
+        assert "guidance (19 tasks)" in output
+
+    def test_simulate_nmmb(self):
+        code, output = run_cli("simulate", "--workload", "nmmb", "--days", "1", "--nodes", "6")
+        assert code == 0
+        assert "nmmb" in output
+
+    def test_simulate_ep_with_policy(self):
+        for policy in ("fifo", "load-balancing", "locality", "energy"):
+            code, output = run_cli(
+                "simulate", "--workload", "ep", "--tasks", "10", "--policy", policy,
+            )
+            assert code == 0
+            assert policy in output
+
+    def test_simulate_chain(self):
+        code, output = run_cli(
+            "simulate", "--workload", "chain", "--tasks", "5", "--duration", "2",
+        )
+        assert code == 0
+        assert "makespan : 10.0 s" in output
+
+
+class TestAnalyze:
+    def test_analyze_reports_model_metrics(self):
+        code, output = run_cli(
+            "analyze", "--workload", "guidance", "--chromosomes", "2", "--chunks", "4",
+        )
+        assert code == 0
+        assert "average parallelism" in output
+        assert "speedup bound" in output
+
+    def test_analyze_chain_has_parallelism_one(self):
+        code, output = run_cli("analyze", "--workload", "chain", "--tasks", "7")
+        assert code == 0
+        assert "average parallelism : 1.0" in output
+
+
+class TestRunText:
+    def test_run_text_executes_file(self, tmp_path):
+        workflow = tmp_path / "wf.txt"
+        workflow.write_text(
+            "data raw size=1e6\n"
+            "task a duration=5 reads=raw writes=mid:1e3\n"
+            "task b duration=5 reads=mid\n"
+        )
+        code, output = run_cli("run-text", str(workflow), "--nodes", "1")
+        assert code == 0
+        assert "tasks    : 2" in output
+        assert "makespan : 10.0 s" in output
+
+
+class TestErrors:
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            run_cli("frobnicate")
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            run_cli("simulate", "--workload", "nope")

@@ -1,0 +1,131 @@
+"""Unit tests for resource constraints, including dynamic evaluation (C2)."""
+
+import pytest
+
+from repro import ConstraintUnsatisfiableError, Runtime, compss_wait_on, constraint, task
+from repro.core.constraints import ResourceConstraints, constraints_of
+from repro.infrastructure import Node, Platform
+
+
+class TestResourceConstraints:
+    def test_static_resolution(self):
+        spec = ResourceConstraints(cores=4, memory_mb=1000, software=frozenset({"mpi"}))
+        resolved = spec.resolve()
+        assert resolved.cores == 4
+        assert resolved.memory_mb == 1000
+        assert resolved.software == {"mpi"}
+        assert not spec.is_dynamic
+
+    def test_dynamic_memory_evaluated_per_invocation(self):
+        spec = ResourceConstraints(memory_mb=lambda chunk_mb: chunk_mb * 3)
+        assert spec.is_dynamic
+        assert spec.resolve((100,), {}).memory_mb == 300
+        assert spec.resolve((), {"chunk_mb": 50}).memory_mb == 150
+
+    def test_dynamic_cores(self):
+        spec = ResourceConstraints(cores=lambda n: max(1, n // 10))
+        assert spec.resolve((40,), {}).cores == 4
+
+    def test_fits_node(self):
+        node = Node("n", cores=4, memory_mb=8000, software=frozenset({"python"}))
+        ok = ResourceConstraints(cores=2, memory_mb=4000).resolve()
+        assert ok.fits_node(node)
+        too_big = ResourceConstraints(memory_mb=16_000).resolve()
+        assert not too_big.fits_node(node)
+
+
+class TestConstraintDecorator:
+    def test_constraint_above_task(self):
+        @constraint(cores=3, memory_mb=64)
+        @task(returns=1)
+        def fn(x):
+            return x
+
+        spec = fn._repro_task_definition.constraints
+        assert spec.resolve().cores == 3
+
+    def test_constraint_below_task(self):
+        @task(returns=1)
+        @constraint(cores=2)
+        def fn(x):
+            return x
+
+        spec = fn._repro_task_definition.constraints
+        assert spec.resolve().cores == 2
+
+    def test_default_is_one_core(self):
+        def plain(x):
+            return x
+
+        assert constraints_of(plain).resolve().cores == 1
+
+
+class TestConstraintsAtRuntime:
+    def test_unsatisfiable_task_rejected_at_submission(self):
+        platform = Platform()
+        platform.add_node(Node("small", cores=2, memory_mb=1000))
+
+        @constraint(memory_mb=50_000)
+        @task(returns=1)
+        def huge(x):
+            return x
+
+        with Runtime(platform=platform):
+            with pytest.raises(ConstraintUnsatisfiableError):
+                huge(1)
+
+    def test_memory_limits_concurrency(self):
+        import threading
+        import time
+
+        platform = Platform()
+        platform.add_node(Node("n", cores=8, memory_mb=1000))
+        peak = {"now": 0, "max": 0}
+        lock = threading.Lock()
+
+        @constraint(memory_mb=400)
+        @task(returns=1)
+        def hog(x):
+            with lock:
+                peak["now"] += 1
+                peak["max"] = max(peak["max"], peak["now"])
+            time.sleep(0.05)
+            with lock:
+                peak["now"] -= 1
+            return x
+
+        with Runtime(platform=platform):
+            compss_wait_on([hog(i) for i in range(6)])
+        # 1000 MB / 400 MB -> at most 2 concurrent in spite of 8 cores.
+        assert peak["max"] <= 2
+
+    def test_dynamic_memory_constraint_runs(self):
+        platform = Platform()
+        platform.add_node(Node("n", cores=4, memory_mb=10_000))
+
+        @constraint(memory_mb=lambda size_mb: size_mb * 2)
+        @task(returns=1)
+        def process(size_mb):
+            return size_mb
+
+        with Runtime(platform=platform):
+            assert compss_wait_on(process(100)) == 100
+            with pytest.raises(ConstraintUnsatisfiableError):
+                process(50_000)
+
+    def test_software_constraint_filters_nodes(self):
+        import threading
+
+        platform = Platform()
+        platform.add_node(Node("plain", cores=4))
+        platform.add_node(Node("gpuish", cores=4, software=frozenset({"tensorflow"})))
+
+        @constraint(software=("tensorflow",))
+        @task(returns=1)
+        def train(x):
+            return x * 2
+
+        with Runtime(platform=platform) as rt:
+            assert compss_wait_on(train(21)) == 42
+            trained = [t for t in rt.graph.tasks if t.label.startswith("Test") or True]
+            assert all(t.assigned_node == "gpuish" for t in trained)

@@ -1,0 +1,159 @@
+"""Tests for PCA and model selection (dislib extensions)."""
+
+import numpy as np
+import pytest
+
+from repro import Runtime
+from repro.dislib import (
+    KFold,
+    LinearRegression,
+    PCA,
+    array,
+    cross_val_score,
+    train_test_split,
+)
+
+
+@pytest.fixture(params=["sequential", "runtime"])
+def maybe_runtime(request):
+    if request.param == "sequential":
+        yield None
+    else:
+        with Runtime(workers=4) as rt:
+            yield rt
+
+
+def anisotropic_data(n=400, seed=0):
+    rng = np.random.default_rng(seed)
+    latent = rng.normal(size=(n, 2)) * np.array([5.0, 1.0])
+    mixing = np.array([[1.0, 0.3, 0.0], [0.0, 0.5, 1.0]])
+    return latent @ mixing + np.array([10.0, -3.0, 4.0])
+
+
+class TestPCA:
+    def test_components_orthonormal(self, maybe_runtime):
+        ds = array(anisotropic_data(), block_shape=(100, 3))
+        model = PCA().fit(ds)
+        gram = model.components_ @ model.components_.T
+        np.testing.assert_allclose(gram, np.eye(3), atol=1e-8)
+
+    def test_explained_variance_sorted(self, maybe_runtime):
+        ds = array(anisotropic_data(), block_shape=(100, 3))
+        model = PCA().fit(ds)
+        ev = model.explained_variance_
+        assert all(a >= b for a, b in zip(ev, ev[1:]))
+        assert ev[0] > 5 * ev[1]  # strongly anisotropic data
+
+    def test_matches_numpy_covariance_eigendecomposition(self, maybe_runtime):
+        data = anisotropic_data(seed=3)
+        ds = array(data, block_shape=(80, 3))
+        model = PCA(n_components=2).fit(ds)
+        covariance = np.cov(data, rowvar=False, bias=True)
+        reference = np.linalg.eigh(covariance)[0][::-1][:2]
+        np.testing.assert_allclose(model.explained_variance_, reference, rtol=1e-6)
+
+    def test_transform_decorrelates(self, maybe_runtime):
+        ds = array(anisotropic_data(seed=5), block_shape=(100, 3))
+        projected = PCA(n_components=2).fit_transform(ds).collect()
+        assert projected.shape == (400, 2)
+        covariance = np.cov(projected, rowvar=False)
+        assert abs(covariance[0, 1]) < 1e-6 * covariance[0, 0]
+
+    def test_transform_before_fit_rejected(self, maybe_runtime):
+        with pytest.raises(RuntimeError):
+            PCA().transform(array(np.ones((4, 2)), (2, 2)))
+
+    def test_bad_n_components_rejected(self, maybe_runtime):
+        with pytest.raises(ValueError):
+            PCA(n_components=0)
+
+
+def regression_data(n=480, seed=1):
+    rng = np.random.default_rng(seed)
+    x = rng.random((n, 3))
+    y = x @ np.array([[1.0], [2.0], [-1.0]]) + 0.5
+    return x, y
+
+
+class TestTrainTestSplit:
+    def test_split_partitions_blocks(self, maybe_runtime):
+        x, y = regression_data()
+        dx = array(x, block_shape=(60, 3))
+        dy = array(y, block_shape=(60, 1))
+        x_tr, x_te, y_tr, y_te = train_test_split(dx, dy, test_blocks=2, seed=4)
+        assert x_tr.n_block_rows == 6
+        assert x_te.n_block_rows == 2
+        total = np.vstack([x_tr.collect(), x_te.collect()])
+        assert sorted(map(tuple, total)) == sorted(map(tuple, x))
+
+    def test_reproducible(self, maybe_runtime):
+        x, y = regression_data()
+        dx = array(x, block_shape=(60, 3))
+        dy = array(y, block_shape=(60, 1))
+        a = train_test_split(dx, dy, test_blocks=2, seed=9)[1].collect()
+        b = train_test_split(dx, dy, test_blocks=2, seed=9)[1].collect()
+        np.testing.assert_array_equal(a, b)
+
+    def test_invalid_test_blocks(self, maybe_runtime):
+        x, y = regression_data()
+        dx = array(x, block_shape=(60, 3))
+        dy = array(y, block_shape=(60, 1))
+        with pytest.raises(ValueError):
+            train_test_split(dx, dy, test_blocks=0)
+        with pytest.raises(ValueError):
+            train_test_split(dx, dy, test_blocks=8)
+
+
+class TestKFoldAndCrossVal:
+    def test_folds_cover_all_blocks_once(self, maybe_runtime):
+        x, y = regression_data()
+        dx = array(x, block_shape=(60, 3))
+        dy = array(y, block_shape=(60, 1))
+        test_rows = []
+        for _, x_te, _, _ in KFold(n_splits=4).split(dx, dy):
+            test_rows.append(x_te.collect())
+        stacked = np.vstack(test_rows)
+        assert stacked.shape == x.shape
+        assert sorted(map(tuple, stacked)) == sorted(map(tuple, x))
+
+    def test_cross_val_score_near_perfect_on_noiseless_data(self, maybe_runtime):
+        x, y = regression_data()
+        dx = array(x, block_shape=(60, 3))
+        dy = array(y, block_shape=(60, 1))
+        scores = cross_val_score(LinearRegression, dx, dy, n_splits=4)
+        assert len(scores) == 4
+        assert all(s > 0.999 for s in scores)
+
+    def test_too_few_blocks_rejected(self, maybe_runtime):
+        x, y = regression_data()
+        dx = array(x, block_shape=(240, 3))
+        dy = array(y, block_shape=(240, 1))
+        with pytest.raises(ValueError):
+            list(KFold(n_splits=5).split(dx, dy))
+
+    def test_bad_n_splits(self, maybe_runtime):
+        with pytest.raises(ValueError):
+            KFold(n_splits=1)
+
+
+class TestParaverExport:
+    def test_prv_and_csv_roundtrip(self):
+        from repro.executor import SimulatedExecutor, SimWorkflowBuilder
+        from repro.infrastructure import make_hpc_cluster
+        from repro.metrics.paraver import export_prv, export_trace_csv, load_trace_csv
+
+        builder = SimWorkflowBuilder()
+        builder.add_task("a", duration=5.0, outputs={"x": 1.0})
+        builder.add_task("b", duration=7.0, inputs=["x"])
+        SimulatedExecutor(builder.graph, make_hpc_cluster(1)).run()
+
+        prv, row_file = export_prv(builder.graph)
+        assert prv.startswith("#Paraver-like trace: tasks=2")
+        assert "LEVEL NODE SIZE 1" in row_file
+        assert len(prv.splitlines()) == 3  # header + 2 state records
+
+        csv_text = export_trace_csv(builder.graph)
+        rows = load_trace_csv(csv_text)
+        assert len(rows) == 2
+        assert rows[0].start <= rows[1].start
+        assert rows[1].end == pytest.approx(12.0)

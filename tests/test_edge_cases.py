@@ -1,0 +1,231 @@
+"""Targeted error-path and edge-case tests across the library."""
+
+import pytest
+
+from repro import FILE_OUT, Runtime, TaskFailedError, compss_open, compss_wait_on, task
+from repro.core.exceptions import StorageError
+from repro.executor import SimulatedExecutor, SimWorkflowBuilder
+from repro.executor.simulated import SimulatedExecutionError
+from repro.infrastructure import Node, Platform, make_hpc_cluster
+from repro.scheduling.capacity import CapacityError, CapacityLedger
+from repro.simulation import EventQueue
+from repro.storage import estimate_size
+from repro.storage.interface import StorageRuntime
+from repro.streams import DataStream, StreamElement
+
+
+class TestTaskDefinitionValidation:
+    def test_varargs_rejected(self):
+        with pytest.raises(TypeError):
+
+            @task(returns=1)
+            def bad(*args):
+                return args
+
+    def test_kwargs_rejected(self):
+        with pytest.raises(TypeError):
+
+            @task(returns=1)
+            def bad(**kwargs):
+                return kwargs
+
+    def test_unknown_direction_param_rejected(self):
+        from repro import INOUT
+
+        with pytest.raises(ValueError):
+
+            @task(ghost=INOUT)
+            def bad(x):
+                return x
+
+    def test_non_parameter_direction_rejected(self):
+        with pytest.raises(TypeError):
+
+            @task(x="inout")
+            def bad(x):
+                return x
+
+    def test_negative_returns_rejected(self):
+        with pytest.raises(ValueError):
+
+            @task(returns=-1)
+            def bad(x):
+                return x
+
+
+class TestRuntimeErrorPaths:
+    def test_wrong_return_arity_fails_future(self):
+        @task(returns=2)
+        def one_value(x):
+            return x  # not iterable into 2 values -> runtime error path
+
+        with Runtime(workers=2):
+            a, b = one_value(7)
+            with pytest.raises(Exception):
+                compss_wait_on(a)
+
+    def test_compss_open_on_failed_writer_raises(self, tmp_path):
+        path = str(tmp_path / "never.txt")
+
+        @task(out=FILE_OUT)
+        def boom(out):
+            raise IOError("disk on fire")
+
+        with Runtime(workers=2):
+            boom(path)
+            with pytest.raises(TaskFailedError):
+                compss_open(path)
+
+    def test_wait_on_timeout(self):
+        import threading
+
+        release = threading.Event()
+
+        @task(returns=1)
+        def blocked(x):
+            release.wait(5.0)
+            return x
+
+        with Runtime(workers=2) as runtime:
+            future = blocked(1)
+            with pytest.raises(TimeoutError):
+                runtime.wait_on(future, timeout=0.1)
+            release.set()
+
+    def test_exception_exit_does_not_hang(self):
+        import time
+
+        @task(returns=1)
+        def slow(x):
+            time.sleep(0.05)
+            return x
+
+        with pytest.raises(RuntimeError):
+            with Runtime(workers=2):
+                slow(1)
+                raise RuntimeError("user error mid-workflow")
+        # A fresh runtime still works afterwards.
+        with Runtime(workers=2):
+            assert compss_wait_on(slow(2)) == 2
+
+
+class TestSimulatedExecutorEdges:
+    def test_unrunnable_tasks_raise_explicitly(self):
+        builder = SimWorkflowBuilder()
+        # Requires mpi software no node in this bare platform has.
+        builder.add_task("sim", duration=1.0, software=["mpi"])
+        platform = Platform()
+        platform.add_node(Node("bare", cores=4))
+        executor = SimulatedExecutor(builder.graph, platform)
+        with pytest.raises(SimulatedExecutionError):
+            executor.run()
+
+    def test_run_until_reports_partial_progress(self):
+        builder = SimWorkflowBuilder()
+        for i in range(4):
+            builder.add_task(f"t{i}", duration=100.0)
+        platform = make_hpc_cluster(1, cores_per_node=1)
+        executor = SimulatedExecutor(builder.graph, platform)
+        with pytest.raises(SimulatedExecutionError):
+            executor.run(until=150.0)  # only 1 of 4 can have finished
+
+    def test_zero_duration_tasks_complete(self):
+        builder = SimWorkflowBuilder()
+        builder.add_task("instant", duration=0.0)
+        platform = make_hpc_cluster(1)
+        report = SimulatedExecutor(builder.graph, platform).run()
+        assert report.makespan == 0.0
+        assert report.tasks_done == 1
+
+
+class TestCapacityLedgerEdges:
+    def test_remove_unknown_node(self):
+        ledger = CapacityLedger([Node("a")])
+        with pytest.raises(CapacityError):
+            ledger.remove_node("ghost")
+        with pytest.raises(CapacityError):
+            ledger.state("ghost")
+
+    def test_remove_returns_state_with_running_tasks(self):
+        from repro.core.constraints import ResolvedRequirements
+
+        ledger = CapacityLedger([Node("a", cores=4)])
+        ledger.state("a").allocate(7, ResolvedRequirements(cores=2))
+        state = ledger.remove_node("a")
+        assert state.running_task_ids == [7]
+
+
+class TestEventQueueEdges:
+    def test_pop_empty_returns_none(self):
+        queue = EventQueue()
+        assert queue.pop() is None
+        assert queue.peek_time() is None
+
+    def test_all_cancelled_behaves_empty(self):
+        queue = EventQueue()
+        events = [queue.push(float(i), lambda: None) for i in range(3)]
+        for event in events:
+            event.cancel()
+        assert not queue
+        assert queue.pop() is None
+
+
+class TestStorageEdges:
+    def test_estimate_size_unpicklable_fallback(self):
+        assert estimate_size(lambda: None) == 64
+
+    def test_sri_without_backend_raises(self):
+        sri = StorageRuntime()
+        with pytest.raises(StorageError):
+            sri.persist({"x": 1})
+
+    def test_sri_unknown_object_raises(self):
+        from repro.storage import KeyValueCluster
+
+        sri = StorageRuntime()
+        sri.register_backend(KeyValueCluster(["n0"]), default=True)
+        with pytest.raises(StorageError):
+            sri.retrieve("ghost")
+        with pytest.raises(StorageError):
+            sri.get_locations("ghost")
+        assert not sri.exists("ghost")
+
+
+class TestStreamEdges:
+    def test_equal_timestamps_allowed(self):
+        stream = DataStream("s")
+        stream.publish(StreamElement(1.0, "a"))
+        stream.publish(StreamElement(1.0, "b"))  # simultaneous sensors
+        assert len(stream) == 2
+
+    def test_subscriber_added_late_misses_history(self):
+        stream = DataStream("s")
+        stream.publish(StreamElement(1.0, "early"))
+        seen = []
+        stream.subscribe(seen.append)
+        stream.publish(StreamElement(2.0, "late"))
+        assert [e.value for e in seen] == ["late"]
+        # ...but history is still queryable.
+        assert len(stream.elements) == 2
+
+
+class TestGangEdgeCases:
+    def test_gang_larger_than_cluster_detected(self):
+        from repro import ConstraintUnsatisfiableError
+        from repro.core.constraints import ResolvedRequirements
+        from repro.scheduling import TaskScheduler
+
+        platform = make_hpc_cluster(2)
+        scheduler = TaskScheduler(platform)
+        # 'nodes' isn't part of per-node satisfiability (any node fits the
+        # per-node slice), but placement must return None, never a partial
+        # allocation.
+        from repro.core.graph import TaskInstance
+
+        gang = TaskInstance(
+            task_id=1,
+            label="huge-mpi",
+            requirements=ResolvedRequirements(cores=48, nodes=5),
+        )
+        assert scheduler.try_place(gang) is None
+        assert scheduler.total_free_cores == 2 * 48

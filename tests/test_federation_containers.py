@@ -1,0 +1,170 @@
+"""Tests for cloud federation and container platforms (claim C6, §II/§VI)."""
+
+import pytest
+
+from repro.executor import SimulatedExecutor
+from repro.infrastructure import (
+    CloudFederation,
+    CloudProvider,
+    ContainerImage,
+    ContainerRuntime,
+    ElasticityPolicy,
+    ImageRegistry,
+    Platform,
+    container_stage_in,
+    make_hpc_cluster,
+)
+from repro.infrastructure.cloud import VmTemplate
+from repro.infrastructure.containers import ContainerError
+from repro.infrastructure.federation import FederationError
+from repro.simulation import SimulationEngine
+from repro.workloads import embarrassingly_parallel
+
+
+def make_federation(placement=CloudFederation.CHEAPEST_FIRST):
+    platform = Platform()
+    engine = SimulationEngine()
+    cheap = CloudProvider(
+        platform, engine, name="cheap-cloud",
+        startup_delay_s=120.0, cost_per_node_second=0.0001, max_nodes=2,
+    )
+    fast = CloudProvider(
+        platform, engine, name="fast-cloud",
+        startup_delay_s=20.0, cost_per_node_second=0.001, max_nodes=4,
+    )
+    return platform, engine, CloudFederation([cheap, fast], placement=placement)
+
+
+class TestCloudFederation:
+    def test_cheapest_first_fills_cheap_quota_then_spills(self):
+        platform, engine, federation = make_federation()
+        granted = federation.request_nodes(5)
+        engine.run()
+        assert granted == 5
+        by_provider = federation.nodes_by_provider()
+        assert len(by_provider["cheap-cloud"]) == 2  # quota-limited
+        assert len(by_provider["fast-cloud"]) == 3
+
+    def test_fastest_boot_first_ordering(self):
+        platform, engine, federation = make_federation(
+            placement=CloudFederation.FASTEST_BOOT_FIRST
+        )
+        federation.request_nodes(3)
+        engine.run()
+        by_provider = federation.nodes_by_provider()
+        assert len(by_provider["fast-cloud"]) == 3
+        assert len(by_provider["cheap-cloud"]) == 0
+
+    def test_release_routed_to_owner(self):
+        platform, engine, federation = make_federation()
+        federation.request_nodes(3)
+        engine.run()
+        victim = federation.nodes_by_provider()["fast-cloud"][0]
+        federation.release_node(victim)
+        assert federation.owner_of(victim) is None
+        with pytest.raises(FederationError):
+            federation.release_node(victim)
+
+    def test_grant_capped_by_total_quota(self):
+        platform, engine, federation = make_federation()
+        assert federation.request_nodes(100) == 6  # 2 + 4
+        engine.run()
+        assert len(federation.active_nodes) == 6
+
+    def test_cost_aggregated(self):
+        platform, engine, federation = make_federation()
+        federation.request_nodes(3)
+        engine.run()
+        engine.at(engine.now + 100.0, federation.shutdown)
+        engine.run()
+        assert federation.total_cost > 0
+
+    def test_validation(self):
+        with pytest.raises(FederationError):
+            CloudFederation([])
+        platform = Platform()
+        engine = SimulationEngine()
+        p = CloudProvider(platform, engine, name="dup")
+        q = CloudProvider(platform, engine, name="dup")
+        with pytest.raises(FederationError):
+            CloudFederation([p, q])
+
+    def test_elasticity_over_federation(self):
+        platform, engine, federation = make_federation()
+        backlog = {"value": 200}
+        policy = ElasticityPolicy(
+            federation,
+            engine,
+            backlog_fn=lambda: backlog["value"],
+            idle_nodes_fn=lambda: [],
+            period_s=10.0,
+        )
+        policy.start()
+        engine.at(300.0, lambda: backlog.update(value=0))
+        engine.at(400.0, policy.stop)
+        engine.run()
+        assert len(federation.active_nodes) > 0
+        assert policy.scale_out_actions >= 1
+
+
+class TestContainers:
+    @staticmethod
+    def stack():
+        platform = make_hpc_cluster(2)
+        registry_node = platform.nodes[0].name
+        registry = ImageRegistry(registry_node)
+        registry.push(ContainerImage("compss-worker", size_bytes=1e9, start_overhead_s=2.0))
+        return platform, registry, ContainerRuntime(platform, registry)
+
+    def test_cold_pull_then_warm_start(self):
+        platform, registry, runtime = self.stack()
+        node = platform.nodes[1].name
+        cold = runtime.start_delay(node, "compss-worker")
+        warm = runtime.start_delay(node, "compss-worker")
+        assert cold > warm == 2.0
+        assert runtime.pull_count == 1
+        assert runtime.pulled_bytes == 1e9
+
+    def test_preload_avoids_pull(self):
+        platform, registry, runtime = self.stack()
+        node = platform.nodes[1].name
+        runtime.preload(node, "compss-worker")
+        assert runtime.start_delay(node, "compss-worker") == 2.0
+        assert runtime.pull_count == 0
+
+    def test_evict_forces_repull(self):
+        platform, registry, runtime = self.stack()
+        node = platform.nodes[1].name
+        runtime.start_delay(node, "compss-worker")
+        runtime.evict(node, "compss-worker")
+        runtime.start_delay(node, "compss-worker")
+        assert runtime.pull_count == 2
+
+    def test_unknown_image_rejected(self):
+        platform, registry, runtime = self.stack()
+        with pytest.raises(ContainerError):
+            runtime.start_delay(platform.nodes[0].name, "ghost-image")
+
+    def test_invalid_image_rejected(self):
+        with pytest.raises(ValueError):
+            ContainerImage("bad", size_bytes=0)
+        with pytest.raises(ValueError):
+            ContainerImage("bad", start_overhead_s=-1)
+
+    def test_containerized_execution_charges_pulls_once_per_node(self):
+        platform, registry, runtime = self.stack()
+        builder = embarrassingly_parallel(8, duration=10.0)
+        report = SimulatedExecutor(
+            builder.graph,
+            platform,
+            extra_stage_in=container_stage_in(runtime, "compss-worker"),
+        ).run()
+        assert report.tasks_done == 8
+        # One pull per node at most (the registry node starts warm only
+        # after its own first pull, which is free over the loopback).
+        assert runtime.pull_count <= 2
+        # Containerized run is slower than bare-metal by the start overheads.
+        bare = SimulatedExecutor(
+            embarrassingly_parallel(8, duration=10.0).graph, make_hpc_cluster(2)
+        ).run()
+        assert report.makespan > bare.makespan

@@ -1,0 +1,167 @@
+"""Tests for the MPI-like SPMD substrate."""
+
+import pytest
+
+from repro import Runtime, compss_wait_on, constraint, task
+from repro.mpi import MpiError, mpi_run
+
+
+class TestCollectives:
+    def test_allreduce_sum(self):
+        def kernel(rank):
+            return rank.allreduce(rank.rank + 1)
+
+        results = mpi_run(kernel, 4)
+        assert results == [10, 10, 10, 10]
+
+    def test_allreduce_ops(self):
+        def kernel(rank):
+            return (
+                rank.allreduce(rank.rank, op="max"),
+                rank.allreduce(rank.rank + 1, op="min"),
+                rank.allreduce(rank.rank + 1, op="prod"),
+            )
+
+        results = mpi_run(kernel, 3)
+        assert results == [(2, 1, 6)] * 3
+
+    def test_unknown_op_rejected(self):
+        def kernel(rank):
+            return rank.allreduce(1, op="median")
+
+        with pytest.raises(MpiError):
+            mpi_run(kernel, 2)
+
+    def test_bcast(self):
+        def kernel(rank):
+            secret = 42 if rank.rank == 0 else None
+            return rank.bcast(secret, root=0)
+
+        assert mpi_run(kernel, 4) == [42, 42, 42, 42]
+
+    def test_gather(self):
+        def kernel(rank):
+            gathered = rank.gather(rank.rank * 10, root=1)
+            return gathered
+
+        results = mpi_run(kernel, 3)
+        assert results[1] == [0, 10, 20]
+        assert results[0] is None and results[2] is None
+
+    def test_alltoall(self):
+        def kernel(rank):
+            outgoing = [f"{rank.rank}->{dst}" for dst in range(rank.size)]
+            return rank.alltoall(outgoing)
+
+        results = mpi_run(kernel, 3)
+        assert results[0] == ["0->0", "1->0", "2->0"]
+        assert results[2] == ["0->2", "1->2", "2->2"]
+
+    def test_alltoall_wrong_length_rejected(self):
+        def kernel(rank):
+            return rank.alltoall([1])
+
+        with pytest.raises(MpiError):
+            mpi_run(kernel, 3)
+
+    def test_repeated_collectives_stay_aligned(self):
+        def kernel(rank):
+            total = 0
+            for step in range(10):
+                total = rank.allreduce(total + rank.rank + step)
+                rank.barrier()
+            return total
+
+        results = mpi_run(kernel, 4)
+        assert len(set(results)) == 1
+
+    def test_bad_root_rejected(self):
+        def kernel(rank):
+            return rank.bcast(1, root=9)
+
+        with pytest.raises(MpiError):
+            mpi_run(kernel, 2)
+
+
+class TestLauncher:
+    def test_single_rank(self):
+        assert mpi_run(lambda rank: rank.size, 1) == [1]
+
+    def test_invalid_process_count(self):
+        with pytest.raises(MpiError):
+            mpi_run(lambda rank: None, 0)
+
+    def test_rank_failure_aborts_run_with_cause(self):
+        def kernel(rank):
+            if rank.rank == 1:
+                raise ValueError("rank 1 exploded")
+            return rank.allreduce(1)  # would deadlock without abort
+
+        with pytest.raises(MpiError) as excinfo:
+            mpi_run(kernel, 3)
+        assert "rank 1 exploded" in str(excinfo.value.__cause__)
+
+    def test_extra_args_forwarded(self):
+        def kernel(rank, base, scale=1):
+            return (base + rank.rank) * scale
+
+        assert mpi_run(kernel, 3, 10, scale=2) == [20, 22, 24]
+
+
+class TestMpiInsideTasks:
+    def test_pi_estimation_inside_constraint_task(self):
+        def pi_kernel(rank, samples_per_rank):
+            import random
+
+            rng = random.Random(rank.rank)
+            inside = sum(
+                1
+                for _ in range(samples_per_rank)
+                if rng.random() ** 2 + rng.random() ** 2 <= 1.0
+            )
+            total_inside = rank.allreduce(inside)
+            return 4.0 * total_inside / (samples_per_rank * rank.size)
+
+        @constraint(cores=4)
+        @task(returns=1)
+        def estimate_pi(samples_per_rank):
+            return mpi_run(pi_kernel, 4, samples_per_rank)[0]
+
+        with Runtime(workers=4):
+            pi = compss_wait_on(estimate_pi(20_000))
+        assert pi == pytest.approx(3.1416, abs=0.05)
+
+    def test_domain_decomposition_stencil(self):
+        # 1-D heat smoothing with halo exchange via alltoall.
+        def kernel(rank, field, steps):
+            chunk = len(field) // rank.size
+            lo = rank.rank * chunk
+            hi = lo + chunk if rank.rank < rank.size - 1 else len(field)
+            local = list(field[lo:hi])
+            for _ in range(steps):
+                halos = [None] * rank.size
+                if rank.rank > 0:
+                    halos[rank.rank - 1] = local[0]
+                if rank.rank < rank.size - 1:
+                    halos[rank.rank + 1] = local[-1]
+                received = rank.alltoall(halos)
+                left = received[rank.rank - 1] if rank.rank > 0 else local[0]
+                right = (
+                    received[rank.rank + 1]
+                    if rank.rank < rank.size - 1
+                    else local[-1]
+                )
+                padded = [left] + local + [right]
+                local = [
+                    (padded[i - 1] + padded[i] + padded[i + 1]) / 3.0
+                    for i in range(1, len(padded) - 1)
+                ]
+            return local
+
+        field = [0.0] * 8 + [9.0] + [0.0] * 7
+        pieces = mpi_run(kernel, 4, field, 5)
+        smoothed = [v for piece in pieces for v in piece]
+        assert len(smoothed) == 16
+        # Smoothing conserves nothing exactly, but the spike must spread.
+        assert max(smoothed) < 9.0
+        assert smoothed[4] > 0.0

@@ -1,0 +1,93 @@
+"""Tests for the Patterns abstraction level (map / reduce / fork-join / pipeline)."""
+
+import pytest
+
+from repro import Runtime, compss_wait_on, task
+from repro.patterns import fork_join, parallel_map, parallel_reduce, pipeline_map
+
+
+@task(returns=1)
+def double(x):
+    return 2 * x
+
+
+@task(returns=1)
+def add(a, b):
+    return a + b
+
+
+class TestParallelMap:
+    def test_with_plain_function(self):
+        with Runtime(workers=4):
+            futures = parallel_map(lambda x: x + 1, range(10))
+            assert compss_wait_on(futures) == list(range(1, 11))
+
+    def test_with_task_function(self):
+        with Runtime(workers=4):
+            futures = parallel_map(double, [1, 2, 3])
+            assert compss_wait_on(futures) == [2, 4, 6]
+
+    def test_without_runtime_sequential(self):
+        assert parallel_map(lambda x: x * x, [1, 2, 3]) == [1, 4, 9]
+
+
+class TestParallelReduce:
+    def test_tree_reduction_correct(self):
+        with Runtime(workers=4):
+            total = parallel_reduce(add, list(range(100)))
+            assert compss_wait_on(total) == sum(range(100))
+
+    def test_odd_number_of_items(self):
+        with Runtime(workers=4):
+            total = parallel_reduce(add, [1, 2, 3, 4, 5])
+            assert compss_wait_on(total) == 15
+
+    def test_single_item_passthrough(self):
+        assert parallel_reduce(add, [42]) == 42
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            parallel_reduce(add, [])
+
+    def test_reduces_futures_from_map(self):
+        with Runtime(workers=4):
+            squares = parallel_map(lambda x: x * x, range(10))
+            total = parallel_reduce(add, squares)
+            assert compss_wait_on(total) == sum(i * i for i in range(10))
+
+
+class TestForkJoin:
+    def test_fork_join_value(self):
+        with Runtime(workers=4):
+            result = fork_join(double, [1, 2, 3], lambda branches: sum(branches))
+            assert compss_wait_on(result) == 12
+
+    def test_fork_join_sequential(self):
+        assert fork_join(lambda x: x + 1, [1, 2], lambda b: max(b)) == 3
+
+
+class TestPipelineMap:
+    def test_stages_compose(self):
+        with Runtime(workers=4):
+            outputs = pipeline_map(
+                [lambda x: x + 1, lambda x: x * 10, lambda x: x - 5],
+                [0, 1, 2],
+            )
+            assert compss_wait_on(outputs) == [5, 15, 25]
+
+    def test_empty_stages_rejected(self):
+        with pytest.raises(ValueError):
+            pipeline_map([], [1])
+
+    def test_items_flow_independently(self):
+        # With 2 workers and 4 items x 2 stages, pipelining must beat
+        # the strictly staged lower bound; here we just verify semantics
+        # and that all tasks complete under contention.
+        import time
+
+        with Runtime(workers=2):
+            outputs = pipeline_map(
+                [lambda x: (time.sleep(0.01), x)[1], lambda x: x * 2],
+                range(8),
+            )
+            assert compss_wait_on(outputs) == [2 * i for i in range(8)]

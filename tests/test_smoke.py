@@ -1,0 +1,133 @@
+"""End-to-end smoke tests: the public API on a real thread-pool runtime."""
+
+import pytest
+
+from repro import (
+    INOUT,
+    Runtime,
+    TaskFailedError,
+    compss_barrier,
+    compss_wait_on,
+    constraint,
+    task,
+)
+
+
+@task(returns=1)
+def add(a, b):
+    return a + b
+
+
+@task(returns=1)
+def square(x):
+    return x * x
+
+
+@task(returns=2)
+def divmod_task(a, b):
+    return a // b, a % b
+
+
+@task(c=INOUT)
+def extend(c, items):
+    c.extend(items)
+
+
+@constraint(cores=2, memory_mb=100)
+@task(returns=1)
+def heavy(x):
+    return x + 1
+
+
+def test_single_task_roundtrip():
+    with Runtime(workers=2):
+        result = compss_wait_on(add(2, 3))
+    assert result == 5
+
+
+def test_chained_tasks():
+    with Runtime(workers=2):
+        total = add(square(3), square(4))
+        assert compss_wait_on(total) == 25
+
+
+def test_fan_out_fan_in():
+    with Runtime(workers=4):
+        partials = [square(i) for i in range(20)]
+        # Futures inside a list are tracked as a collection.
+        total = compss_wait_on(partials)
+    assert total == [i * i for i in range(20)]
+
+
+def test_multiple_returns():
+    with Runtime(workers=2):
+        q, r = divmod_task(17, 5)
+        assert compss_wait_on(q) == 3
+        assert compss_wait_on(r) == 2
+
+
+def test_inout_mutation_and_object_sync():
+    with Runtime(workers=2) as rt:
+        data = [1, 2]
+        extend(data, [3, 4])
+        extend(data, [5])
+        synced = rt.wait_on(data)
+    assert synced == [1, 2, 3, 4, 5]
+
+
+def test_constraint_task_runs():
+    with Runtime(workers=4):
+        assert compss_wait_on(heavy(41)) == 42
+
+
+def test_sequential_fallback_without_runtime():
+    # No runtime: decorated functions run synchronously.
+    assert add(1, 2) == 3
+    assert divmod_task(7, 2) == (3, 1)
+
+
+def test_task_failure_surfaces_at_wait_on():
+    @task(returns=1)
+    def boom(x):
+        raise ValueError("broken")
+
+    with Runtime(workers=2):
+        future = boom(1)
+        with pytest.raises(TaskFailedError):
+            compss_wait_on(future)
+
+
+def test_failure_cancels_descendants():
+    @task(returns=1)
+    def boom(x):
+        raise ValueError("broken")
+
+    with Runtime(workers=2):
+        bad = boom(1)
+        downstream = add(bad, 1)
+        with pytest.raises(TaskFailedError):
+            compss_wait_on(downstream)
+
+
+def test_barrier_drains_all_tasks():
+    results = []
+
+    @task()
+    def record(x):
+        results.append(x)
+
+    with Runtime(workers=4):
+        for i in range(10):
+            record(i)
+        compss_barrier()
+        assert sorted(results) == list(range(10))
+
+
+def test_many_tasks_complete():
+    with Runtime(workers=8) as rt:
+        futures = [add(i, i) for i in range(200)]
+        values = compss_wait_on(futures)
+        assert values == [2 * i for i in range(200)]
+        stats = rt.statistics()
+    assert stats["tasks_done"] == 200
+    assert stats["tasks_failed"] == 0

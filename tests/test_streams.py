@@ -1,0 +1,209 @@
+"""Tests for the streaming subsystem (§I/§III continuum data flows)."""
+
+import pytest
+
+from repro.infrastructure import make_fog_platform
+from repro.simulation import SimulationEngine
+from repro.streams import (
+    BatchCollector,
+    DataStream,
+    SensorSource,
+    StreamElement,
+    WindowedProcessor,
+)
+
+
+class TestDataStream:
+    def test_publish_and_subscribe(self):
+        stream = DataStream("s")
+        seen = []
+        stream.subscribe(seen.append)
+        stream.publish(StreamElement(1.0, "a"))
+        stream.publish(StreamElement(2.0, "b"))
+        assert len(stream) == 2
+        assert [e.value for e in seen] == ["a", "b"]
+
+    def test_timestamps_must_be_monotone(self):
+        stream = DataStream("s")
+        stream.publish(StreamElement(5.0, "x"))
+        with pytest.raises(ValueError):
+            stream.publish(StreamElement(4.0, "y"))
+
+    def test_closed_stream_rejects_publish(self):
+        stream = DataStream("s")
+        stream.close()
+        with pytest.raises(RuntimeError):
+            stream.publish(StreamElement(0.0, "x"))
+
+    def test_since_filters_by_timestamp(self):
+        stream = DataStream("s")
+        for t in (1.0, 2.0, 3.0):
+            stream.publish(StreamElement(t, t))
+        assert [e.value for e in stream.since(2.0)] == [2.0, 3.0]
+
+
+class TestSensorSource:
+    def test_periodic_emission(self):
+        engine = SimulationEngine()
+        stream = DataStream("readings")
+        sensor = SensorSource(engine, stream, period_s=2.0, until=10.0)
+        sensor.start()
+        engine.run()
+        # Emissions at t = 0, 2, 4, 6, 8, 10.
+        assert sensor.emitted == 6
+        assert [e.timestamp for e in stream.elements] == [0, 2, 4, 6, 8, 10]
+
+    def test_jitter_deterministic_per_seed(self):
+        def run(seed):
+            engine = SimulationEngine()
+            stream = DataStream("r")
+            SensorSource(
+                engine, stream, period_s=1.0, jitter=0.3, until=20.0, seed=seed
+            ).start()
+            engine.run()
+            return [e.timestamp for e in stream.elements]
+
+        assert run(1) == run(1)
+        assert run(1) != run(2)
+
+    def test_custom_reading_fn(self):
+        engine = SimulationEngine()
+        stream = DataStream("r")
+        SensorSource(
+            engine,
+            stream,
+            period_s=1.0,
+            until=3.0,
+            reading_fn=lambda seq, rng: seq * 10,
+        ).start()
+        engine.run()
+        assert [e.value for e in stream.elements] == [0, 10, 20, 30]
+
+    def test_validation(self):
+        engine = SimulationEngine()
+        stream = DataStream("r")
+        with pytest.raises(ValueError):
+            SensorSource(engine, stream, period_s=0)
+        with pytest.raises(ValueError):
+            SensorSource(engine, stream, jitter=1.5)
+        sensor = SensorSource(engine, stream, until=1.0)
+        sensor.start()
+        with pytest.raises(RuntimeError):
+            sensor.start()
+
+
+class TestWindowedProcessor:
+    @staticmethod
+    def run_pipeline(window_s=5.0, until=30.0, period_s=1.0):
+        engine = SimulationEngine()
+        platform = make_fog_platform(num_edge=1, num_fog=1, num_cloud=1)
+        readings = DataStream("readings")
+        results = DataStream("results")
+        SensorSource(engine, readings, period_s=period_s, until=until).start()
+        processor = WindowedProcessor(
+            engine,
+            platform,
+            readings,
+            results,
+            node_name="fog-0",
+            window_s=window_s,
+            compute_fn=lambda elements: sum(e.value for e in elements) / len(elements),
+        )
+        processor.start()
+        engine.at(until + 1e-6, readings.close)
+        engine.run()
+        return processor, results
+
+    def test_every_element_processed_exactly_once(self):
+        processor, _ = self.run_pipeline()
+        total = sum(r.element_count for r in processor.results)
+        assert total == 31  # t = 0..30 inclusive
+
+    def test_results_stream_out_during_the_run(self):
+        processor, results = self.run_pipeline(window_s=5.0, until=30.0)
+        # First result appears shortly after the first window closes (t=5),
+        # long before the campaign ends (t=30).
+        first = processor.results[0]
+        assert first.completed_at < 10.0
+        assert len(results) == len(processor.results)
+
+    def test_latency_bounded_by_window_plus_compute(self):
+        processor, _ = self.run_pipeline(window_s=5.0)
+        assert processor.max_latency < 5.0
+
+    def test_window_values_correct(self):
+        engine = SimulationEngine()
+        platform = make_fog_platform(num_edge=0, num_fog=1, num_cloud=0)
+        readings = DataStream("r")
+        results = DataStream("out")
+        SensorSource(
+            engine, readings, period_s=1.0, until=9.0,
+            reading_fn=lambda seq, rng: float(seq),
+        ).start()
+        processor = WindowedProcessor(
+            engine, platform, readings, results, "fog-0", window_s=5.0,
+            compute_fn=lambda els: [e.value for e in els],
+        )
+        processor.start()
+        engine.at(9.0 + 1e-6, readings.close)
+        engine.run()
+        # Window [0,5) holds t=0..4 -> values 0..4; window [5,10) holds 5..9.
+        assert processor.results[0].value == [0.0, 1.0, 2.0, 3.0, 4.0]
+        assert processor.results[1].value == [5.0, 6.0, 7.0, 8.0, 9.0]
+
+    def test_invalid_window_rejected(self):
+        engine = SimulationEngine()
+        platform = make_fog_platform()
+        with pytest.raises(ValueError):
+            WindowedProcessor(
+                engine, platform, DataStream("a"), DataStream("b"),
+                "fog-0", window_s=0.0, compute_fn=len,
+            )
+
+
+class TestBatchBaseline:
+    def test_batch_result_latency_spans_campaign(self):
+        engine = SimulationEngine()
+        platform = make_fog_platform(num_edge=0, num_fog=1, num_cloud=1)
+        readings = DataStream("r")
+        SensorSource(engine, readings, period_s=1.0, until=60.0).start()
+        batch = BatchCollector(
+            engine, platform, readings, node_name="cloud-0",
+            compute_fn=lambda els: len(els),
+        )
+        batch.process_at(60.0 + 1e-6)
+        engine.run()
+        assert batch.result is not None
+        assert batch.result.element_count == 61
+        # Oldest element is a whole campaign old when the result appears.
+        assert batch.result_latency >= 60.0
+
+    def test_streaming_latency_much_lower_than_batch(self):
+        def run_streaming():
+            engine = SimulationEngine()
+            platform = make_fog_platform(num_edge=0, num_fog=1, num_cloud=1)
+            readings, results = DataStream("r"), DataStream("out")
+            SensorSource(engine, readings, period_s=1.0, until=60.0).start()
+            processor = WindowedProcessor(
+                engine, platform, readings, results, "fog-0", window_s=5.0,
+                compute_fn=lambda els: sum(e.value for e in els),
+            )
+            processor.start()
+            engine.at(60.0 + 1e-6, readings.close)
+            engine.run()
+            return processor.mean_latency
+
+        def run_batch():
+            engine = SimulationEngine()
+            platform = make_fog_platform(num_edge=0, num_fog=1, num_cloud=1)
+            readings = DataStream("r")
+            SensorSource(engine, readings, period_s=1.0, until=60.0).start()
+            batch = BatchCollector(
+                engine, platform, readings, "cloud-0",
+                compute_fn=lambda els: sum(e.value for e in els),
+            )
+            batch.process_at(60.0 + 1e-6)
+            engine.run()
+            return batch.result_latency
+
+        assert run_streaming() * 10 < run_batch()
