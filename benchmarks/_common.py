@@ -6,14 +6,20 @@ print paper-style result rows and *assert the claimed shape* — who wins and
 by roughly what factor — so `pytest benchmarks/ --benchmark-only` doubles as
 a reproduction check.
 
-Set ``REPRO_BENCH_SCALE=large`` to run the E1/E2 workloads at ~20k simulated
-tasks instead of the default ~5k (slower, closer to the paper's magnitude).
+``REPRO_BENCH_SCALE`` selects the workload magnitude:
+
+* ``smoke``   — minimal sizes for CI (runtime-scaling sweep stops at 25k
+  tasks, other benches unchanged);
+* ``default`` — E1/E2 at ~5k tasks; the runtime-scaling sweep
+  (``bench_runtime_scaling.py``) still exercises 10k/50k/200k tasks;
+* ``large``   — E1/E2 at ~20k tasks (closer to the paper's magnitude) and
+  the runtime-scaling sweep extended past 200k to 500k tasks.
 """
 
 from __future__ import annotations
 
 import os
-from typing import Callable, Iterable, Sequence
+from typing import Callable, Iterable, List, Sequence
 
 
 def bench_scale() -> str:
@@ -23,6 +29,24 @@ def bench_scale() -> str:
 def guidance_chunks() -> int:
     """chunks/chromosome for GUIDANCE-derived benches (22 chromosomes)."""
     return 224 if bench_scale() == "large" else 56
+
+
+def runtime_scaling_targets() -> List[int]:
+    """Task-count sweep for the runtime-overhead scaling bench (E1b).
+
+    The default sweep ends at 200k tasks — the regime where the pre-PR-2
+    O(tasks)-per-event bookkeeping was intractable; ``large`` pushes to
+    500k, ``smoke`` keeps CI fast.
+    """
+    scale = bench_scale()
+    if scale == "smoke":
+        # Both points sit on the flat part of the curve: below ~10k tasks
+        # per-event rates are inflated by small-working-set effects and the
+        # flatness assertion would compare incomparable regimes.
+        return [10_000, 25_000]
+    if scale == "large":
+        return [10_000, 50_000, 200_000, 500_000]
+    return [10_000, 50_000, 200_000]
 
 
 def print_table(title: str, header: Sequence[str], rows: Iterable[Sequence]) -> None:

@@ -1,0 +1,126 @@
+"""E1b — runtime-overhead scaling of the simulated executor (claim C1).
+
+Paper: GUIDANCE "generates between 1-3 million COMPSs tasks" and was run on
+100 MareNostrum nodes "showing good scalability".  That claim is only
+reachable if the runtime's *own* per-task cost stays constant as the graph
+grows — O(tasks)-per-event bookkeeping turns an n-task run into O(n²) work
+before any simulated second elapses.
+
+This bench pins the property down: the synthetic GUIDANCE DAG at 10k / 50k
+/ 200k tasks (``REPRO_BENCH_SCALE=large`` extends to 500k) on a 100-node
+simulated MareNostrum, measuring *wall-clock* events/second of the
+discrete-event loop.  Expected shape: flat — the 200k-task rate within 2×
+of the 10k-task rate.  Results are written to ``BENCH_runtime_scaling.json``
+at the repo root so future PRs can track the perf trajectory.
+
+The cyclic GC is frozen around the timed section: CPython's full
+collections scan the whole (live, acyclic-in-practice) task graph and would
+charge the runtime an O(heap) tax that says nothing about its algorithms.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import os
+import sys
+import time
+
+from _common import print_table, run_once, runtime_scaling_targets
+
+from repro.executor import SimulatedExecutor
+from repro.infrastructure import make_hpc_cluster
+from repro.scheduling import LoadBalancingPolicy
+from repro.workloads import GuidanceConfig, build_guidance_workflow
+
+NODES = 100
+RESULTS_PATH = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "..", "BENCH_runtime_scaling.json"
+)
+
+#: Tasks per (chromosome, chunk) cell: qc, phasing, imputation, association.
+_TASKS_PER_CHUNK = 4
+_CHROMOSOMES = 22
+
+
+def _chunks_for(target_tasks: int) -> int:
+    return max(1, round(target_tasks / (_CHROMOSOMES * _TASKS_PER_CHUNK)))
+
+
+def run_point(target_tasks: int) -> dict:
+    config = GuidanceConfig(
+        chromosomes=_CHROMOSOMES, chunks_per_chromosome=_chunks_for(target_tasks)
+    )
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        start = time.perf_counter()
+        workload = build_guidance_workflow(config)
+        build_seconds = time.perf_counter() - start
+        platform = make_hpc_cluster(NODES)
+        executor = SimulatedExecutor(
+            workload.graph,
+            platform,
+            policy=LoadBalancingPolicy(),
+            initial_data=workload.initial_data,
+        )
+        if gc_was_enabled:
+            gc.enable()
+        gc.collect()
+        gc.freeze()
+        start = time.perf_counter()
+        report = executor.run()
+        run_seconds = time.perf_counter() - start
+        gc.unfreeze()
+    finally:
+        if gc_was_enabled and not gc.isenabled():
+            gc.enable()
+    events = executor.engine.dispatched_events
+    return {
+        "tasks": workload.task_count,
+        "nodes": NODES,
+        "build_seconds": build_seconds,
+        "run_seconds": run_seconds,
+        "events": events,
+        "events_per_sec": events / run_seconds if run_seconds > 0 else float("inf"),
+        "makespan_s": report.makespan,
+        "tasks_done": report.tasks_done,
+    }
+
+
+def run_sweep() -> list:
+    return [run_point(target) for target in runtime_scaling_targets()]
+
+
+def test_runtime_overhead_scaling(benchmark):
+    points = run_once(benchmark, run_sweep)
+    print_table(
+        "E1b: simulated-executor runtime scaling (expected shape: flat events/sec)",
+        ["tasks", "events", "run_s", "events/s", "makespan_h"],
+        [
+            (
+                p["tasks"],
+                p["events"],
+                p["run_seconds"],
+                p["events_per_sec"],
+                p["makespan_s"] / 3600,
+            )
+            for p in points
+        ],
+    )
+    sys.stdout.flush()
+
+    with open(RESULTS_PATH, "w") as fh:
+        json.dump({"experiment": "runtime_scaling", "points": points}, fh, indent=2)
+        fh.write("\n")
+
+    # Every point must complete its whole graph.
+    assert all(p["tasks_done"] == p["tasks"] for p in points)
+    # The headline shape: per-event cost stays constant as the graph grows —
+    # the largest run's event rate is within 2x of the smallest run's.
+    smallest, largest = points[0], points[-1]
+    assert largest["events_per_sec"] * 2.0 >= smallest["events_per_sec"], (
+        f"superlinear runtime blowup: {smallest['tasks']} tasks ran at "
+        f"{smallest['events_per_sec']:.0f} ev/s but {largest['tasks']} tasks "
+        f"ran at {largest['events_per_sec']:.0f} ev/s"
+    )

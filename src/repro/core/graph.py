@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, List, Optional, Set
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Set
 
 from repro.core.constraints import ResolvedRequirements
 
@@ -90,18 +90,45 @@ class GraphError(RuntimeError):
     """Raised on invalid graph mutations (unknown ids, bad transitions)."""
 
 
+class _ReadyNode:
+    """One entry of the intrusive doubly-linked ready queue."""
+
+    __slots__ = ("tid", "prev", "next", "live")
+
+    def __init__(self, tid: int, prev: Optional["_ReadyNode"]) -> None:
+        self.tid = tid
+        self.prev = prev
+        self.next: Optional["_ReadyNode"] = None
+        self.live = True
+
+
 class TaskGraph:
-    """Append-only DAG of task instances with ready-set maintenance."""
+    """Append-only DAG of task instances with ready-set maintenance.
+
+    Every mutation and query used on the executor's per-event hot path is
+    O(1): state counters are maintained incrementally (``finished`` never
+    rescans the graph) and the ready queue is an intrusive doubly-linked
+    list indexed by task id, so enqueue/dequeue never pay ``list.remove``
+    scans and iteration touches only live entries — a dispatch loop can
+    inspect a bounded window of a huge queue and stop.
+    """
 
     def __init__(self) -> None:
         self._tasks: Dict[int, TaskInstance] = {}
         self._successors: Dict[int, Set[int]] = {}
         self._predecessors: Dict[int, Set[int]] = {}
         self._unfinished_preds: Dict[int, int] = {}
-        self._ready: List[int] = []
+        # Ready queue: linked list in enqueue order + task_id -> node index.
+        # Unlinked nodes keep their ``next`` pointer, so an iterator holding
+        # a just-dequeued node can still chain forward (see iter_ready).
+        self._ready_head: Optional[_ReadyNode] = None
+        self._ready_tail: Optional[_ReadyNode] = None
+        self._ready_nodes: Dict[int, _ReadyNode] = {}
         self.completed_count = 0
         self.failed_count = 0
         self.cancelled_count = 0
+        self._pending_count = 0
+        self._running_count = 0
 
     def __len__(self) -> int:
         return len(self._tasks)
@@ -124,6 +151,30 @@ class TaskGraph:
 
     def successors(self, task_id: int) -> Set[int]:
         return set(self._successors.get(task_id, ()))
+
+    # ---------------------------------------------------------- ready queue
+
+    def _ready_append(self, task_id: int) -> None:
+        node = _ReadyNode(task_id, self._ready_tail)
+        if self._ready_tail is None:
+            self._ready_head = node
+        else:
+            self._ready_tail.next = node
+        self._ready_tail = node
+        self._ready_nodes[task_id] = node
+
+    def _ready_remove(self, task_id: int) -> None:
+        node = self._ready_nodes.pop(task_id)
+        node.live = False
+        if node.prev is None:
+            self._ready_head = node.next
+        else:
+            node.prev.next = node.next
+        if node.next is None:
+            self._ready_tail = node.prev
+        else:
+            node.next.prev = node.prev
+        # node.next is deliberately left intact for in-flight iterators.
 
     # ---------------------------------------------------------------- build
 
@@ -164,17 +215,35 @@ class TaskGraph:
             self.cancelled_count += 1
         elif unfinished == 0:
             instance.state = TaskState.READY
-            self._ready.append(tid)
+            self._ready_append(tid)
+        else:
+            self._pending_count += 1
 
     # ------------------------------------------------------------ scheduling
 
     def ready_tasks(self) -> List[TaskInstance]:
         """Tasks whose dependencies are all satisfied, in registration order."""
-        return [self._tasks[tid] for tid in self._ready]
+        return list(self.iter_ready())
+
+    def iter_ready(self) -> Iterator[TaskInstance]:
+        """Lazily yield ready tasks in queue order (no O(ready) snapshot).
+
+        The yielded task (and only it) may be marked running/failed while
+        iterating: dequeuing leaves the node's ``next`` pointer intact, so
+        the walk chains forward regardless.  A dispatch loop can therefore
+        scan a bounded window of a huge ready queue and stop without ever
+        touching the rest.  Tasks made ready during iteration are not
+        guaranteed to be seen.
+        """
+        node = self._ready_head
+        while node is not None:
+            if node.live:
+                yield self._tasks[node.tid]
+            node = node.next
 
     @property
     def ready_count(self) -> int:
-        return len(self._ready)
+        return len(self._ready_nodes)
 
     def mark_running(self, task_id: int, node_name: str, now: float = 0.0) -> None:
         instance = self.task(task_id)
@@ -182,8 +251,9 @@ class TaskGraph:
             raise GraphError(
                 f"task {task_id} is {instance.state.value}, cannot start it"
             )
-        self._ready.remove(task_id)
+        self._ready_remove(task_id)
         instance.state = TaskState.RUNNING
+        self._running_count += 1
         instance.assigned_node = node_name
         instance.start_time = now
         instance.attempts += 1
@@ -196,9 +266,10 @@ class TaskGraph:
                 f"task {task_id} is {instance.state.value}, cannot requeue it"
             )
         instance.state = TaskState.READY
+        self._running_count -= 1
         instance.assigned_node = None
         instance.start_time = None
-        self._ready.append(task_id)
+        self._ready_append(task_id)
 
     def mark_done(self, task_id: int, now: float = 0.0) -> List[TaskInstance]:
         """Complete a task; returns the successor tasks that became ready."""
@@ -208,6 +279,7 @@ class TaskGraph:
                 f"task {task_id} is {instance.state.value}, cannot complete it"
             )
         instance.state = TaskState.DONE
+        self._running_count -= 1
         instance.end_time = now
         self.completed_count += 1
         newly_ready: List[TaskInstance] = []
@@ -218,7 +290,8 @@ class TaskGraph:
             self._unfinished_preds[succ] -= 1
             if self._unfinished_preds[succ] == 0:
                 successor.state = TaskState.READY
-                self._ready.append(succ)
+                self._pending_count -= 1
+                self._ready_append(succ)
                 newly_ready.append(successor)
         return newly_ready
 
@@ -233,42 +306,56 @@ class TaskGraph:
                 f"task {task_id} is {instance.state.value}, cannot fail it"
             )
         if instance.state is TaskState.READY:
-            self._ready.remove(task_id)
+            self._ready_remove(task_id)
+        else:
+            self._running_count -= 1
         instance.state = TaskState.FAILED
         instance.error = error
         instance.end_time = now
         self.failed_count += 1
         cancelled: List[int] = []
         frontier = list(self._successors[task_id])
+        # The visited set keeps the traversal linear on diamond-heavy DAGs:
+        # without it every shared descendant re-enters the frontier once per
+        # path, which is exponential in the worst case.
+        visited = set(frontier)
         while frontier:
             tid = frontier.pop()
             descendant = self._tasks[tid]
             if descendant.state in (TaskState.PENDING, TaskState.READY):
                 if descendant.state is TaskState.READY:
-                    self._ready.remove(tid)
+                    self._ready_remove(tid)
+                else:
+                    self._pending_count -= 1
                 descendant.state = TaskState.CANCELLED
                 self.cancelled_count += 1
                 cancelled.append(tid)
-                frontier.extend(self._successors[tid])
+                for succ in self._successors[tid]:
+                    if succ not in visited:
+                        visited.add(succ)
+                        frontier.append(succ)
         return cancelled
 
     # -------------------------------------------------------------- queries
 
     @property
     def finished(self) -> bool:
-        """True when no task can make further progress."""
-        return all(
-            t.state in (TaskState.DONE, TaskState.FAILED, TaskState.CANCELLED)
-            for t in self._tasks.values()
-        )
+        """True when no task can make further progress.
+
+        O(1): a task is terminal iff DONE, FAILED or CANCELLED, and those
+        three counters are maintained on every transition, so the graph is
+        finished exactly when they account for every registered task.
+        """
+        terminal = self.completed_count + self.failed_count + self.cancelled_count
+        return terminal == len(self._tasks)
 
     @property
     def pending_count(self) -> int:
-        return sum(1 for t in self._tasks.values() if t.state is TaskState.PENDING)
+        return self._pending_count
 
     @property
     def running_count(self) -> int:
-        return sum(1 for t in self._tasks.values() if t.state is TaskState.RUNNING)
+        return self._running_count
 
     def critical_path_length(self, duration_of: Callable[[TaskInstance], float]) -> float:
         """Longest path through the DAG under ``duration_of`` (lower bound on makespan)."""

@@ -156,7 +156,13 @@ class SimulatedExecutor:
     def _dispatch(self) -> None:
         self._dispatch_scheduled = False
         consecutive_failures = 0
-        for instance in list(self.graph.ready_tasks()):
+        # Requirement signatures that failed for lack of capacity this pass.
+        # Capacity only shrinks while a pass allocates (completions are
+        # separate events), so an identical demand cannot become placeable
+        # before the pass ends — skipping it is exact, and collapses the
+        # re-walk of a blocked same-shaped prefix to one set lookup per task.
+        blocked_reqs: Set[object] = set()
+        for instance in self.graph.iter_ready():
             if self.scheduler.total_free_cores <= 0:
                 break
             lost = [d for d in instance.reads if self.locations.is_lost(d)]
@@ -169,8 +175,15 @@ class SimulatedExecutor:
                 if self.graph.finished:
                     self.engine.stop()
                 continue
+            if instance.requirements in blocked_reqs:
+                consecutive_failures += 1
+                if consecutive_failures >= self.dispatch_window:
+                    break
+                continue
             nodes = self.scheduler.try_place(instance)
             if nodes is None:
+                if self.scheduler.last_failure_was_capacity:
+                    blocked_reqs.add(instance.requirements)
                 consecutive_failures += 1
                 if consecutive_failures >= self.dispatch_window:
                     break
@@ -200,21 +213,28 @@ class SimulatedExecutor:
         """Parallel-fetch model: max transfer time over missing inputs."""
         worst = 0.0
         now = self.engine.now
+        locations = self.locations
+        network = self.platform.network
         for datum_id in instance.reads:
-            holders = self.locations.get_locations(datum_id)
+            holders = locations.holders_of(datum_id)
             if not holders or node_name in holders:
                 continue
-            size = self.locations.size_of(datum_id)
-            best_src = min(
-                holders,
-                key=lambda src: self.platform.network.transfer_time(src, node_name, size),
-            )
-            duration = self.platform.network.transfer_time(best_src, node_name, size)
-            self.platform.network.record_transfer(
+            size = locations.size_of(datum_id)
+            # One transfer_time evaluation per holder (route lookups are
+            # cached by the topology): track the running best instead of a
+            # min() pass followed by a recomputation for the winner.
+            best_src = None
+            duration = float("inf")
+            for src in holders:
+                candidate = network.transfer_time(src, node_name, size)
+                if candidate < duration:
+                    duration = candidate
+                    best_src = src
+            network.record_transfer(
                 best_src, node_name, size, start_time=now, duration=duration, datum=datum_id
             )
             # The fetched copy now also lives on the destination node.
-            self.locations.publish(datum_id, node_name, size_bytes=size)
+            locations.publish(datum_id, node_name, size_bytes=size)
             worst = max(worst, duration)
         return worst
 

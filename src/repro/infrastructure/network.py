@@ -72,10 +72,21 @@ class NetworkTopology:
         self.intra_zone_link = intra_zone_link
         self.default_link = default_link
         self.transfers: List[TransferRecord] = []
+        # Memoized (src_node, dst_node) -> Link resolution.  Route lookup is
+        # on the stage-in hot path (once per holder per input datum);
+        # topology mutations bump ``topology_version`` and drop the cache.
+        self._route_cache: Dict[Tuple[str, str], Link] = {}
+        self.topology_version = 0
+
+    def _invalidate_routes(self) -> None:
+        self.topology_version += 1
+        if self._route_cache:
+            self._route_cache.clear()
 
     def add_node(self, node_name: str, zone: str) -> None:
         """Place ``node_name`` in ``zone`` (re-placing is allowed)."""
         self._node_zone[node_name] = zone
+        self._invalidate_routes()
 
     def add_nodes(self, node_names: Iterable[str], zone: str) -> None:
         for name in node_names:
@@ -90,16 +101,23 @@ class NetworkTopology:
         self._links[(zone_a, zone_b)] = link
         if symmetric:
             self._links[(zone_b, zone_a)] = link
+        self._invalidate_routes()
 
     def link_between(self, src_node: str, dst_node: str) -> Link:
-        """Resolve the link used for a transfer from src to dst node."""
+        """Resolve the link used for a transfer from src to dst node (cached)."""
         if src_node == dst_node:
             return LOCAL_LINK
-        src_zone = self.zone_of(src_node)
-        dst_zone = self.zone_of(dst_node)
-        if src_zone == dst_zone:
-            return self.intra_zone_link
-        return self._links.get((src_zone, dst_zone), self.default_link)
+        key = (src_node, dst_node)
+        link = self._route_cache.get(key)
+        if link is None:
+            src_zone = self.zone_of(src_node)
+            dst_zone = self.zone_of(dst_node)
+            if src_zone == dst_zone:
+                link = self.intra_zone_link
+            else:
+                link = self._links.get((src_zone, dst_zone), self.default_link)
+            self._route_cache[key] = link
+        return link
 
     def transfer_time(self, src_node: str, dst_node: str, size_bytes: float) -> float:
         """Seconds to move ``size_bytes`` from src to dst (0 if same node)."""

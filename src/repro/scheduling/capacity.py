@@ -3,12 +3,17 @@
 The ledger is the scheduler's source of truth for what is free *right now*.
 Its invariant — allocations never exceed a node's capacity — is one of the
 property-tested guarantees in DESIGN.md §4.
+
+Aggregates the dispatch loop consults on every event (``total_free_cores``,
+the max-free bounds behind ``candidates()``'s short-circuit) are maintained
+incrementally: each :class:`NodeCapacity` notifies its owning ledger on
+allocate/release, so per-event cost stays O(1) instead of O(nodes).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set
 
 from repro.core.constraints import ResolvedRequirements
 from repro.infrastructure.resources import Node
@@ -26,7 +31,10 @@ class NodeCapacity:
     free_cores: int
     free_memory_mb: int
     free_gpus: int
-    running_task_ids: List[int]
+    running_task_ids: Set[int]
+    # Owning ledger (set by CapacityLedger.add_node) — notified on
+    # allocate/release so its aggregates stay consistent in O(1).
+    ledger: Optional["CapacityLedger"] = field(default=None, repr=False, compare=False)
 
     @classmethod
     def for_node(cls, node: Node) -> "NodeCapacity":
@@ -35,7 +43,7 @@ class NodeCapacity:
             free_cores=node.cores,
             free_memory_mb=node.memory_mb,
             free_gpus=node.gpu_count,
-            running_task_ids=[],
+            running_task_ids=set(),
         )
 
     @property
@@ -70,7 +78,9 @@ class NodeCapacity:
         self.free_cores -= req.cores
         self.free_memory_mb -= req.memory_mb
         self.free_gpus -= req.gpus
-        self.running_task_ids.append(task_id)
+        self.running_task_ids.add(task_id)
+        if self.ledger is not None:
+            self.ledger._note_allocated(req.cores)
 
     def release(self, task_id: int, req: ResolvedRequirements) -> None:
         if task_id not in self.running_task_ids:
@@ -89,6 +99,8 @@ class NodeCapacity:
             raise CapacityError(
                 f"release of task {task_id} overflowed capacity on {self.node.name}"
             )
+        if self.ledger is not None:
+            self.ledger._note_released(self, req.cores)
 
 
 class CapacityLedger:
@@ -96,20 +108,66 @@ class CapacityLedger:
 
     def __init__(self, nodes: Iterable[Node] = ()) -> None:
         self._states: Dict[str, NodeCapacity] = {}
+        # Incremental aggregates.  ``_free_cores_total`` sums free cores over
+        # every tracked node; the max-free values are *upper bounds* on any
+        # single node's free cores / memory — they only grow on release and
+        # node arrival, and are tightened to exact values when a full
+        # candidates() scan comes up empty (lazy, amortized O(1) per call).
+        self._free_cores_total = 0
+        self._max_free_cores_bound = 0
+        self._max_free_memory_bound = 0
         for node in nodes:
             self.add_node(node)
+
+    # --------------------------------------------------- aggregate bookkeeping
+
+    def _note_allocated(self, cores: int) -> None:
+        self._free_cores_total -= cores
+
+    def _note_released(self, state: NodeCapacity, cores: int) -> None:
+        self._free_cores_total += cores
+        if state.free_cores > self._max_free_cores_bound:
+            self._max_free_cores_bound = state.free_cores
+        if state.free_memory_mb > self._max_free_memory_bound:
+            self._max_free_memory_bound = state.free_memory_mb
+
+    def _tighten_bounds(self) -> None:
+        """Recompute the max-free bounds exactly (after an empty scan)."""
+        max_cores = 0
+        max_memory = 0
+        for state in self._states.values():
+            if not state.node.alive:
+                continue
+            if state.free_cores > max_cores:
+                max_cores = state.free_cores
+            if state.free_memory_mb > max_memory:
+                max_memory = state.free_memory_mb
+        self._max_free_cores_bound = max_cores
+        self._max_free_memory_bound = max_memory
+
+    # ------------------------------------------------------------------ nodes
 
     def add_node(self, node: Node) -> None:
         if node.name in self._states:
             raise CapacityError(f"node {node.name!r} already tracked")
-        self._states[node.name] = NodeCapacity.for_node(node)
+        state = NodeCapacity.for_node(node)
+        state.ledger = self
+        self._states[node.name] = state
+        self._free_cores_total += state.free_cores
+        if state.free_cores > self._max_free_cores_bound:
+            self._max_free_cores_bound = state.free_cores
+        if state.free_memory_mb > self._max_free_memory_bound:
+            self._max_free_memory_bound = state.free_memory_mb
 
     def remove_node(self, node_name: str) -> NodeCapacity:
         """Forget a node; returns its final state (running tasks included)."""
         try:
-            return self._states.pop(node_name)
+            state = self._states.pop(node_name)
         except KeyError:
             raise CapacityError(f"unknown node {node_name!r}") from None
+        state.ledger = None
+        self._free_cores_total -= state.free_cores
+        return state
 
     def state(self, node_name: str) -> NodeCapacity:
         try:
@@ -128,9 +186,26 @@ class CapacityLedger:
     def node_names(self) -> List[str]:
         return list(self._states)
 
+    # -------------------------------------------------------------- placement
+
+    def might_fit(self, req: ResolvedRequirements) -> bool:
+        """O(1) necessary condition: a demand above the max-free bounds
+        cannot fit anywhere right now (the bounds never under-estimate)."""
+        return (
+            req.cores <= self._max_free_cores_bound
+            and req.memory_mb <= self._max_free_memory_bound
+        )
+
     def candidates(self, req: ResolvedRequirements) -> List[NodeCapacity]:
         """Nodes where ``req`` fits right now, in registration order."""
-        return [s for s in self._states.values() if s.fits_now(req)]
+        if not self.might_fit(req):
+            return []
+        found = [s for s in self._states.values() if s.fits_now(req)]
+        if not found:
+            # The bounds let an unplaceable demand through: tighten them so
+            # the next identically-blocked demand short-circuits in O(1).
+            self._tighten_bounds()
+        return found
 
     def any_ever_fits(self, req: ResolvedRequirements) -> bool:
         return any(s.ever_fits(req) for s in self._states.values())
@@ -140,4 +215,12 @@ class CapacityLedger:
 
     @property
     def total_free_cores(self) -> int:
-        return sum(s.free_cores for s in self._states.values() if s.node.alive)
+        """Free cores summed over tracked nodes, maintained incrementally.
+
+        Failed nodes leave the ledger via the scheduler's leave listener, so
+        in the steady state this equals the alive-node sum without paying
+        O(nodes) per dispatch.  A dead-but-still-tracked node (no listener
+        wired) can only over-count, which at worst costs a bounded scan —
+        never a missed placement.
+        """
+        return self._free_cores_total

@@ -10,7 +10,10 @@ the locality policy consumes them.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Mapping, Set
+from typing import AbstractSet, Dict, Iterable, Mapping, Set
+
+#: Shared empty result for lookups of unknown data (avoids per-call allocs).
+_NO_HOLDERS: AbstractSet[str] = frozenset()
 
 
 class DataLocationService:
@@ -32,6 +35,15 @@ class DataLocationService:
     def get_locations(self, datum_id: str) -> Set[str]:
         """SRI getLocations: every node holding a copy (empty set if unknown)."""
         return set(self._locations.get(datum_id, ()))
+
+    def holders_of(self, datum_id: str) -> AbstractSet[str]:
+        """Like :meth:`get_locations` but returns the live internal set.
+
+        Zero-copy read for hot paths (stage-in source selection runs once
+        per holder per input).  Callers must not mutate the result; it may
+        change underneath them on the next ``publish``/``evict_node``.
+        """
+        return self._locations.get(datum_id, _NO_HOLDERS)
 
     def size_of(self, datum_id: str, default: float = 0.0) -> float:
         return self._sizes.get(datum_id, default)

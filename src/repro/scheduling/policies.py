@@ -148,7 +148,7 @@ class EarliestFinishTimePolicy:
         transfer = 0.0
         input_ids = task.reads
         for datum_id in input_ids:
-            holders = self.locations.get_locations(datum_id)
+            holders = self.locations.holders_of(datum_id)
             if not holders or node.name in holders:
                 continue
             size = self.locations.size_of(datum_id)

@@ -32,6 +32,11 @@ class TaskScheduler:
         self.platform = platform
         self.policy = policy if policy is not None else FifoPolicy()
         self.ledger = CapacityLedger(platform.alive_nodes)
+        # True when the last failed try_place found *no* node with enough
+        # free capacity (as opposed to a policy declining a viable node).
+        # Capacity can only shrink while a dispatch pass allocates, so the
+        # executor may skip identical demands for the rest of the pass.
+        self.last_failure_was_capacity = False
         if track_platform_changes:
             platform.on_node_join(self._on_node_join)
             platform.on_node_leave(self._on_node_leave)
@@ -64,8 +69,13 @@ class TaskScheduler:
         nothing is allocated.
         """
         req = task.requirements
+        self.last_failure_was_capacity = False
         if req.nodes == 1:
-            chosen = self.policy.select(task, self.ledger.candidates(req))
+            candidates = self.ledger.candidates(req)
+            if not candidates:
+                self.last_failure_was_capacity = True
+                return None
+            chosen = self.policy.select(task, candidates)
             if chosen is None:
                 return None
             chosen.allocate(task.task_id, req)
@@ -77,6 +87,7 @@ class TaskScheduler:
     ) -> Optional[List[str]]:
         candidates = self.ledger.candidates(req)
         if len(candidates) < req.nodes:
+            self.last_failure_was_capacity = True
             return None
         # Rank with the policy by repeatedly asking it for its best pick.
         chosen: List[NodeCapacity] = []

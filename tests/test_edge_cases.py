@@ -152,7 +152,7 @@ class TestCapacityLedgerEdges:
         ledger = CapacityLedger([Node("a", cores=4)])
         ledger.state("a").allocate(7, ResolvedRequirements(cores=2))
         state = ledger.remove_node("a")
-        assert state.running_task_ids == [7]
+        assert state.running_task_ids == {7}
 
 
 class TestEventQueueEdges:
