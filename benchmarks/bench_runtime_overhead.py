@@ -5,9 +5,15 @@ generates "between 1-3 million COMPSs tasks" must add little per-task
 overhead.  Measures, on the real thread-pool backend:
 
 * task submission + execution throughput for trivial tasks;
+* submission throughput into the graph (PR 3: the lock-lean front-end,
+  per-call ``submit`` vs batched ``submit_many``);
+* sustained master memory across repeated waves (PR 3: resolved futures and
+  completed payloads must be released, not accumulated);
 * dependency-chain turnaround (graph bookkeeping on the critical path);
 * wait_on latency for an already-finished task.
 """
+
+import time
 
 import pytest
 
@@ -15,6 +21,9 @@ from repro import Runtime, compss_barrier, compss_wait_on, task
 
 NUM_TASKS = 2_000
 CHAIN_LENGTH = 500
+SUBMIT_TASKS = 20_000
+WAVES = 5
+WAVE_TASKS = 2_000
 
 
 @task(returns=1)
@@ -40,6 +49,76 @@ def test_throughput_independent_tasks(benchmark):
     print(f"\n=== E11a: {per_second:,.0f} trivial tasks/s (submit+schedule+run+complete)")
     # Thousands of tasks per second, or 1M tasks would take hours of overhead.
     assert per_second > 1_000
+
+
+def test_submission_throughput_into_graph(benchmark):
+    """Tasks/second *registered* (bind + deps + graph insert), not executed.
+
+    This is the front-end rate that bounds how fast an application can
+    even describe a million-task graph; execution overlaps but is not
+    waited on inside the timed region.
+    """
+
+    def run():
+        rates = {}
+        with Runtime(workers=4) as rt:
+            start = time.perf_counter()
+            for i in range(SUBMIT_TASKS):
+                noop(i)
+            rates["submit"] = SUBMIT_TASKS / (time.perf_counter() - start)
+            compss_barrier()
+        with Runtime(workers=4) as rt:
+            calls = [((i,), {}) for i in range(SUBMIT_TASKS)]
+            start = time.perf_counter()
+            rt.submit_many(noop, calls)
+            rates["submit_many"] = SUBMIT_TASKS / (time.perf_counter() - start)
+            compss_barrier()
+        return rates
+
+    rates = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=1)
+    print(
+        f"\n=== E11d: submission throughput — "
+        f"{rates['submit']:,.0f} tasks/s per-call, "
+        f"{rates['submit_many']:,.0f} tasks/s batched"
+    )
+    # A million-task graph must be describable in minutes, not hours.
+    assert rates["submit"] > 5_000
+    assert rates["submit_many"] > 5_000
+
+
+def test_sustained_master_memory_across_waves(benchmark):
+    """Master bookkeeping must not grow with *completed* work.
+
+    Submits several waves with a barrier after each; after every wave the
+    future-tracking maps must be empty and completed instances must have
+    dropped their argument payloads — the PR 3 leak fixes.
+    """
+
+    def run():
+        retained = []
+        with Runtime(workers=4) as rt:
+            for _ in range(WAVES):
+                futures = rt.submit_many(
+                    noop, [((i,), {}) for i in range(WAVE_TASKS)]
+                )
+                compss_wait_on(list(futures))
+                rt.barrier()
+                retained.append(
+                    (
+                        len(rt._result_futures),
+                        len(rt.access_processor.futures_by_datum),
+                        sum(len(t.kwargs) for t in rt.graph.tasks),
+                    )
+                )
+        return retained
+
+    retained = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    print(
+        f"\n=== E11e: retained (futures, datum-futures, kwargs) per wave: "
+        f"{retained}"
+    )
+    # Every wave drains completely: nothing accumulates with completed work.
+    assert retained == [(0, 0, 0)] * WAVES
 
 
 def test_dependency_chain_turnaround(benchmark):

@@ -51,6 +51,12 @@ def run_point(target_tasks: int) -> dict:
     config = GuidanceConfig(
         chromosomes=_CHROMOSOMES, chunks_per_chromosome=_chunks_for(target_tasks)
     )
+    # Collect the previous point's dead cycles (executor/engine/event
+    # closures) *before* timing: the cyclic GC is off during the build, so
+    # anything left uncollected stays live across the whole measurement —
+    # and allocation cost grows with the live heap, which would charge this
+    # point for the previous point's garbage.
+    gc.collect()
     gc_was_enabled = gc.isenabled()
     gc.disable()
     try:
@@ -76,10 +82,12 @@ def run_point(target_tasks: int) -> dict:
         if gc_was_enabled and not gc.isenabled():
             gc.enable()
     events = executor.engine.dispatched_events
+    tasks = workload.task_count
     return {
-        "tasks": workload.task_count,
+        "tasks": tasks,
         "nodes": NODES,
         "build_seconds": build_seconds,
+        "build_us_per_task": build_seconds / tasks * 1e6 if tasks else 0.0,
         "run_seconds": run_seconds,
         "events": events,
         "events_per_sec": events / run_seconds if run_seconds > 0 else float("inf"),
@@ -89,6 +97,10 @@ def run_point(target_tasks: int) -> dict:
 
 
 def run_sweep() -> list:
+    # Warmup point: the first build pays one-time costs (allocator
+    # freelists, method caches) that would otherwise inflate the smallest
+    # sweep point and distort the flatness ratios.
+    run_point(1_000)
     return [run_point(target) for target in runtime_scaling_targets()]
 
 
@@ -96,10 +108,11 @@ def test_runtime_overhead_scaling(benchmark):
     points = run_once(benchmark, run_sweep)
     print_table(
         "E1b: simulated-executor runtime scaling (expected shape: flat events/sec)",
-        ["tasks", "events", "run_s", "events/s", "makespan_h"],
+        ["tasks", "build_us/task", "events", "run_s", "events/s", "makespan_h"],
         [
             (
                 p["tasks"],
+                p["build_us_per_task"],
                 p["events"],
                 p["run_seconds"],
                 p["events_per_sec"],
@@ -124,3 +137,14 @@ def test_runtime_overhead_scaling(benchmark):
         f"{smallest['events_per_sec']:.0f} ev/s but {largest['tasks']} tasks "
         f"ran at {largest['events_per_sec']:.0f} ev/s"
     )
+    # Graph *construction* must scale the same way (PR 3): per-task build
+    # cost near-flat across the sweep, i.e. every point within 2x of the
+    # cheapest point — the pre-PR-3 builder degraded >3x by 200k tasks as
+    # per-task allocations dragged the whole heap into every placement.
+    cheapest = min(p["build_us_per_task"] for p in points)
+    for p in points:
+        assert p["build_us_per_task"] <= cheapest * 2.0, (
+            f"superlinear build cost: {p['tasks']} tasks built at "
+            f"{p['build_us_per_task']:.1f} us/task vs best "
+            f"{cheapest:.1f} us/task elsewhere in the sweep"
+        )

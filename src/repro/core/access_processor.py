@@ -19,25 +19,49 @@ For every task invocation the AP:
 5. emits a :class:`TaskInstance` carrying the dependency set, the argument
    substitution map for futures, and the per-invocation resolved resource
    requirements.
+
+Two submission-scaling mechanisms live here (PR 3):
+
+* **prepare/commit split** — ``prepare_task`` does everything that needs no
+  shared state (signature binding, dynamic-constraint evaluation) so the
+  runtime can run it outside its lock; ``commit_task`` performs only the
+  registry mutations and id minting that must serialize.
+* **WAR fan-in barriers** — a datum read by thousands of tasks and then
+  written (the GUIDANCE 120k-file shape) would naively give the writer
+  O(readers) dependencies.  With a graph attached, the AP flushes every
+  ``war_fanin_threshold`` readers into a chained structural barrier node, so
+  each read stays O(1) amortized and the writer depends on one barrier plus
+  a bounded tail instead of every reader.
 """
 
 from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Set
 
 from repro.core.constraints import ResolvedRequirements
-from repro.core.data import DataRegistry
+from repro.core.data import DataRegistry, DataVersion
 from repro.core.futures import Future
-from repro.core.graph import TaskInstance
+from repro.core.graph import TaskInstance, make_barrier_instance
 from repro.core.parameter import Direction, Parameter
 from repro.core.task_definition import TaskDefinition
+
+if TYPE_CHECKING:
+    import inspect
+
+    from repro.core.graph import TaskGraph
 
 #: Immutable built-ins that cannot carry dependencies when passed IN:
 #: tracking them would only bloat the registry (and small ints are interned,
 #: so identity-based tracking would alias them anyway).
 _UNTRACKED_TYPES = (int, float, bool, str, bytes, complex, type(None), frozenset)
+
+#: Readers accumulated on one version before they are collapsed behind a
+#: structural barrier node.  Bounds every writer's WAR dependency set at
+#: threshold + 2 (tail + previous barrier + previous writer) regardless of
+#: fan-in width.
+WAR_FANIN_BARRIER_THRESHOLD = 64
 
 
 @dataclass
@@ -49,13 +73,48 @@ class RegisteredTask:
     futures: List[Future] = field(default_factory=list)
 
 
-class AccessProcessor:
-    """Builds the dynamic dependency graph from task-call data accesses."""
+@dataclass
+class PreparedTask:
+    """Lock-free half of a submission: bound call + resolved requirements.
 
-    def __init__(self, registry: Optional[DataRegistry] = None) -> None:
+    Produced by :meth:`AccessProcessor.prepare_task` (safe to run
+    concurrently, touches no shared state) and consumed by
+    :meth:`AccessProcessor.commit_task` under the runtime lock.
+    """
+
+    definition: TaskDefinition
+    bound: "inspect.BoundArguments"
+    requirements: ResolvedRequirements
+
+
+class AccessProcessor:
+    """Builds the dynamic dependency graph from task-call data accesses.
+
+    Args:
+        registry: shared datum registry (fresh one by default).
+        graph: when provided, wide WAR fan-in is collapsed into structural
+            barrier nodes added directly to this graph.  Without a graph the
+            AP falls back to exact per-reader dependencies (the naive O(R)
+            derivation) — semantically identical, just slower on hot data.
+        war_fanin_threshold: tail length that triggers a barrier flush.
+    """
+
+    def __init__(
+        self,
+        registry: Optional[DataRegistry] = None,
+        graph: Optional["TaskGraph"] = None,
+        war_fanin_threshold: int = WAR_FANIN_BARRIER_THRESHOLD,
+    ) -> None:
         self.registry = registry if registry is not None else DataRegistry()
+        self.graph = graph
+        if war_fanin_threshold < 1:
+            raise ValueError(
+                f"war_fanin_threshold must be >= 1, got {war_fanin_threshold}"
+            )
+        self.war_fanin_threshold = war_fanin_threshold
         self._task_ids = itertools.count(1)
-        # datum id of the *current* version -> futures awaiting that value
+        # datum id of the *current* version -> futures awaiting that value;
+        # entries are pruned by release_futures once the futures resolve.
         self.futures_by_datum: Dict[str, List[Future]] = {}
 
     def next_task_id(self) -> int:
@@ -63,15 +122,29 @@ class AccessProcessor:
 
     # ------------------------------------------------------------------ API
 
-    def register_task(
+    def prepare_task(
         self,
         definition: TaskDefinition,
         args: tuple,
         kwargs: dict,
-    ) -> RegisteredTask:
-        """Process one task invocation into an instance + dependencies."""
-        task_id = self.next_task_id()
+    ) -> PreparedTask:
+        """Bind the call and resolve constraints — no shared state touched.
+
+        Safe to call outside the runtime lock: signature binding and
+        (dynamic) constraint evaluation depend only on the definition and
+        the concrete arguments.
+        """
         bound = definition.bind(args, kwargs)
+        requirements = self._resolve_requirements(definition, bound)
+        return PreparedTask(
+            definition=definition, bound=bound, requirements=requirements
+        )
+
+    def commit_task(self, prepared: PreparedTask) -> RegisteredTask:
+        """Registry half of a submission; must run under the runtime lock."""
+        definition = prepared.definition
+        bound = prepared.bound
+        task_id = self.next_task_id()
         deps: Set[int] = set()
         reads: List[str] = []
         writes: List[str] = []
@@ -85,12 +158,11 @@ class AccessProcessor:
             )
 
         futures = self._mint_result_futures(definition, task_id, writes)
-        requirements = self._resolve_requirements(definition, bound)
 
         instance = TaskInstance(
             task_id=task_id,
             label=f"{definition.name}#{task_id}",
-            requirements=requirements,
+            requirements=prepared.requirements,
             fn=definition.fn,
             # Execution is always by keyword (signatures with *args/**kwargs
             # are rejected at definition time), so future substitution can
@@ -102,6 +174,32 @@ class AccessProcessor:
             writes=writes,
         )
         return RegisteredTask(instance=instance, depends_on=deps, futures=futures)
+
+    def register_task(
+        self,
+        definition: TaskDefinition,
+        args: tuple,
+        kwargs: dict,
+    ) -> RegisteredTask:
+        """Process one task invocation into an instance + dependencies."""
+        return self.commit_task(self.prepare_task(definition, args, kwargs))
+
+    def release_futures(self, futures: List[Future]) -> None:
+        """Drop bookkeeping for resolved/failed futures (bounded memory).
+
+        Without this, ``futures_by_datum`` grows one entry per task for the
+        lifetime of the runtime — the master-side leak that caps long runs.
+        """
+        for future in futures:
+            waiting = self.futures_by_datum.get(future.datum_id)
+            if waiting is None:
+                continue
+            try:
+                waiting.remove(future)
+            except ValueError:
+                pass
+            if not waiting:
+                del self.futures_by_datum[future.datum_id]
 
     # ------------------------------------------------------------ internals
 
@@ -161,19 +259,54 @@ class AccessProcessor:
         if direction.reads:
             if current.writer_task_id is not None:
                 deps.add(current.writer_task_id)
+            # Flush the tail into a barrier *before* appending this reader:
+            # the flushed readers are all already in the graph, while this
+            # task's instance is not yet, so the barrier's dependency set
+            # stays well-formed.  INOUT accesses must not flush — the
+            # barrier would be minted *after* this task's id, and the write
+            # below would then depend on a later id (unrepresentable); the
+            # write consumes the still-bounded tail directly instead.
+            if (
+                self.graph is not None
+                and not direction.writes
+                and len(current.reader_task_ids) >= self.war_fanin_threshold
+            ):
+                self._flush_war_barrier(current)
             self.registry.read(datum_id, task_id)
             reads.append(datum_id)
         if direction.writes:
             # WAW on the previous writer, WAR on every reader of the current
             # version: in-place mutation forbids reordering around them.
+            # Readers beyond the tail are represented by the version's
+            # barrier, so this loop is bounded by the flush threshold.
             if current.writer_task_id is not None:
                 deps.add(current.writer_task_id)
+            if current.barrier_task_id is not None:
+                deps.add(current.barrier_task_id)
             for reader in current.reader_task_ids:
                 if reader != task_id:
                     deps.add(reader)
             self.registry.write(datum_id, task_id)
             writes.append(datum_id)
         deps.discard(task_id)
+
+    def _flush_war_barrier(self, version: DataVersion) -> None:
+        """Collapse the version's reader tail behind one structural node.
+
+        Chaining (the new barrier depends on the previous one) keeps every
+        graph edge pointing from an earlier-minted id to a later one, so the
+        DAG's program-order invariant survives without any special casing.
+        """
+        barrier_id = self.next_task_id()
+        barrier_deps: Set[int] = set(version.reader_task_ids)
+        if version.barrier_task_id is not None:
+            barrier_deps.add(version.barrier_task_id)
+        self.graph.add_task(
+            make_barrier_instance(barrier_id, f"war-barrier/{version.key}"),
+            barrier_deps,
+        )
+        version.barrier_task_id = barrier_id
+        version.reader_task_ids = []
 
     def _mint_result_futures(
         self, definition: TaskDefinition, task_id: int, writes: List[str]
@@ -192,7 +325,10 @@ class AccessProcessor:
     ) -> ResolvedRequirements:
         spec = definition.constraints
         if not spec.is_dynamic:
-            return spec.resolve()
+            # Static constraints resolve identically for every invocation:
+            # reuse the definition-cached instance instead of allocating a
+            # fresh (frozenset-carrying) requirements object per task.
+            return definition.static_requirements()
         # Dynamic constraints are evaluated on the *invocation* arguments,
         # which is exactly the GUIDANCE variable-memory feature (claim C2).
         # Futures among the args would make the callable fail or lie, so the

@@ -20,39 +20,87 @@ from __future__ import annotations
 
 import itertools
 import os
-from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
 
-@dataclass
 class DataVersion:
-    """One version of a datum: who wrote it, who reads it."""
+    """One version of a datum: who wrote it, who reads it.
 
-    datum_id: str
-    version: int
-    writer_task_id: Optional[int] = None
-    reader_task_ids: List[int] = field(default_factory=list)
+    ``reader_task_ids`` holds only the readers registered since the last
+    WAR barrier was flushed for this version (the *tail*); earlier readers
+    are collapsed behind ``barrier_task_id`` by the Access Processor, so a
+    write never has to walk more than one tail of bounded length.  Each
+    write swaps in a fresh version with an empty tail — the O(1) reader-set
+    swap.  Slotted: registries track one version per write across
+    million-task runs.
+    """
+
+    __slots__ = (
+        "datum_id",
+        "version",
+        "writer_task_id",
+        "reader_task_ids",
+        "barrier_task_id",
+        "reader_count",
+    )
+
+    def __init__(
+        self,
+        datum_id: str,
+        version: int,
+        writer_task_id: Optional[int] = None,
+        reader_task_ids: Optional[List[int]] = None,
+    ) -> None:
+        self.datum_id = datum_id
+        self.version = version
+        self.writer_task_id = writer_task_id
+        self.reader_task_ids = (
+            reader_task_ids if reader_task_ids is not None else []
+        )
+        # Last flushed WAR fan-in barrier covering readers before the tail.
+        self.barrier_task_id: Optional[int] = None
+        # Total readers ever registered on this version (tail + flushed).
+        self.reader_count = len(self.reader_task_ids)
 
     @property
     def key(self) -> str:
         return f"{self.datum_id}#v{self.version}"
 
+    def __repr__(self) -> str:
+        return (
+            f"DataVersion({self.datum_id!r}, v{self.version}, "
+            f"writer={self.writer_task_id}, readers={self.reader_count})"
+        )
 
-@dataclass
+
 class DatumRecord:
     """All registry state about a single datum."""
 
-    datum_id: str
-    versions: List[DataVersion] = field(default_factory=list)
-    # Strong reference for object data; None for file/result data.
-    pinned_object: Any = None
-    is_file: bool = False
-    # Estimated size in bytes, used by the simulation and locality scheduling.
-    size_bytes: float = 0.0
+    __slots__ = ("datum_id", "versions", "pinned_object", "is_file", "size_bytes")
+
+    def __init__(
+        self,
+        datum_id: str,
+        versions: Optional[List[DataVersion]] = None,
+        pinned_object: Any = None,
+        is_file: bool = False,
+        size_bytes: float = 0.0,
+    ) -> None:
+        self.datum_id = datum_id
+        self.versions = versions if versions is not None else []
+        # Strong reference for object data; None for file/result data.
+        self.pinned_object = pinned_object
+        self.is_file = is_file
+        # Estimated size in bytes, used by the simulation and locality
+        # scheduling.
+        self.size_bytes = size_bytes
 
     @property
     def current(self) -> DataVersion:
         return self.versions[-1]
+
+    def __repr__(self) -> str:
+        return f"DatumRecord({self.datum_id!r}, versions={len(self.versions)})"
 
 
 class DataRegistry:
@@ -129,6 +177,7 @@ class DataRegistry:
         """Register a read of the current version; returns that version."""
         version = self._records[datum_id].current
         version.reader_task_ids.append(reader_task_id)
+        version.reader_count += 1
         return version
 
     def write(self, datum_id: str, writer_task_id: int) -> DataVersion:

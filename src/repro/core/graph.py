@@ -10,8 +10,7 @@ acyclic by construction: a task may only depend on tasks registered before it
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Set
+from typing import Callable, Dict, Iterable, Iterator, List, Optional
 
 from repro.core.constraints import ResolvedRequirements
 
@@ -27,54 +26,126 @@ class TaskState(enum.Enum):
     CANCELLED = "cancelled"  # skipped because an ancestor failed
 
 
-@dataclass
 class SimProfile:
     """Synthetic execution profile for simulated tasks (DESIGN.md S6).
 
     ``duration_s`` is the compute time on a ``speed_factor == 1.0`` core;
     slower nodes stretch it.  Input/output datum sizes drive the network
     model.
+
+    Slotted (not a dataclass): million-task graphs hold one profile per
+    task, and per-instance ``__dict__``s are what pushed the build past the
+    allocator's resident-set cliff (see bench_runtime_scaling).
     """
 
-    duration_s: float = 1.0
-    input_sizes: Dict[str, float] = field(default_factory=dict)
-    output_sizes: Dict[str, float] = field(default_factory=dict)
+    __slots__ = ("duration_s", "input_sizes", "output_sizes")
 
-    def __post_init__(self) -> None:
-        if self.duration_s < 0:
-            raise ValueError(f"duration_s must be >= 0, got {self.duration_s}")
+    def __init__(
+        self,
+        duration_s: float = 1.0,
+        input_sizes: Optional[Dict[str, float]] = None,
+        output_sizes: Optional[Dict[str, float]] = None,
+    ) -> None:
+        if duration_s < 0:
+            raise ValueError(f"duration_s must be >= 0, got {duration_s}")
+        self.duration_s = duration_s
+        self.input_sizes = input_sizes if input_sizes is not None else {}
+        self.output_sizes = output_sizes if output_sizes is not None else {}
+
+    def __repr__(self) -> str:
+        return (
+            f"SimProfile(duration_s={self.duration_s!r}, "
+            f"input_sizes={self.input_sizes!r}, output_sizes={self.output_sizes!r})"
+        )
 
 
-@dataclass
+_DEFAULT_REQUIREMENTS = ResolvedRequirements()
+
+
 class TaskInstance:
-    """One node of the workflow DAG: a single task invocation."""
+    """One node of the workflow DAG: a single task invocation.
 
-    task_id: int
-    label: str
-    requirements: ResolvedRequirements = field(default_factory=ResolvedRequirements)
-    # Real execution payload (None for simulated tasks).
-    fn: Optional[Callable] = None
-    args: tuple = ()
-    kwargs: dict = field(default_factory=dict)
-    # Which argument positions / kwarg names must be substituted by resolved
-    # future values before execution ({position_or_name: Future}).
-    future_args: dict = field(default_factory=dict)
-    # Datum ids this task reads / writes (version keys recorded by the AP).
-    reads: List[str] = field(default_factory=list)
-    writes: List[str] = field(default_factory=list)
-    # Simulation profile (None when running for real).
-    profile: Optional[SimProfile] = None
-    state: TaskState = TaskState.PENDING
-    assigned_node: Optional[str] = None
-    # For gang (multi-node / MPI-like) tasks: every node in the allocation.
-    assigned_nodes: List[str] = field(default_factory=list)
-    start_time: Optional[float] = None
-    end_time: Optional[float] = None
-    error: Optional[BaseException] = None
-    # How many times this instance has been (re)submitted — recovery metric.
-    attempts: int = 0
-    # Content hash for memoizable invocations (set by the runtime).
-    cache_key: Optional[str] = None
+    Slotted for the same reason as :class:`SimProfile`: the master keeps
+    every instance alive for the whole run, so per-task memory is what
+    bounds how many tasks a single runtime can carry.
+    """
+
+    __slots__ = (
+        "task_id",
+        "label",
+        "requirements",
+        "fn",
+        "args",
+        "kwargs",
+        "future_args",
+        "reads",
+        "writes",
+        "profile",
+        "state",
+        "assigned_node",
+        "assigned_nodes",
+        "start_time",
+        "end_time",
+        "error",
+        "attempts",
+        "cache_key",
+        "is_barrier",
+    )
+
+    def __init__(
+        self,
+        task_id: int,
+        label: str,
+        requirements: Optional[ResolvedRequirements] = None,
+        fn: Optional[Callable] = None,
+        args: tuple = (),
+        kwargs: Optional[dict] = None,
+        future_args: Optional[dict] = None,
+        reads: Optional[List[str]] = None,
+        writes: Optional[List[str]] = None,
+        profile: Optional[SimProfile] = None,
+        state: TaskState = TaskState.PENDING,
+        assigned_node: Optional[str] = None,
+        assigned_nodes: Optional[List[str]] = None,
+        start_time: Optional[float] = None,
+        end_time: Optional[float] = None,
+        error: Optional[BaseException] = None,
+        attempts: int = 0,
+        cache_key: Optional[str] = None,
+        is_barrier: bool = False,
+    ) -> None:
+        self.task_id = task_id
+        self.label = label
+        # ResolvedRequirements is frozen, so the default can be shared.
+        self.requirements = (
+            requirements if requirements is not None else _DEFAULT_REQUIREMENTS
+        )
+        # Real execution payload (None for simulated tasks).
+        self.fn = fn
+        self.args = args
+        self.kwargs = kwargs if kwargs is not None else {}
+        # Which argument positions / kwarg names must be substituted by
+        # resolved future values before execution ({position_or_name: Future}).
+        self.future_args = future_args if future_args is not None else {}
+        # Datum ids this task reads / writes (version keys recorded by the AP).
+        self.reads = reads if reads is not None else []
+        self.writes = writes if writes is not None else []
+        # Simulation profile (None when running for real).
+        self.profile = profile
+        self.state = state
+        self.assigned_node = assigned_node
+        # For gang (multi-node / MPI-like) tasks: every node in the allocation.
+        self.assigned_nodes = assigned_nodes if assigned_nodes is not None else []
+        self.start_time = start_time
+        self.end_time = end_time
+        self.error = error
+        # How many times this instance has been (re)submitted — recovery metric.
+        self.attempts = attempts
+        # Content hash for memoizable invocations (set by the runtime).
+        self.cache_key = cache_key
+        # Structural WAR fan-in collapse node (never scheduled or executed;
+        # completes inside the graph when its predecessors finish).
+        self.is_barrier = is_barrier
 
     @property
     def duration(self) -> Optional[float]:
@@ -84,6 +155,11 @@ class TaskInstance:
 
     def __repr__(self) -> str:
         return f"TaskInstance({self.task_id}, {self.label!r}, {self.state.value})"
+
+
+def make_barrier_instance(task_id: int, label: str) -> TaskInstance:
+    """A structural barrier node: zero-cost, never enters the ready queue."""
+    return TaskInstance(task_id=task_id, label=label, is_barrier=True)
 
 
 class GraphError(RuntimeError):
@@ -111,12 +187,20 @@ class TaskGraph:
     list indexed by task id, so enqueue/dequeue never pay ``list.remove``
     scans and iteration touches only live entries — a dispatch loop can
     inspect a bounded window of a huge queue and stop.
+
+    Barrier nodes (``instance.is_barrier``) are structural: the Access
+    Processor inserts them to collapse wide WAR fan-in (thousands of readers
+    of one datum followed by a write) into O(1) edges on the writer.  They
+    never enter the ready queue, are never scheduled, and complete inside
+    ``mark_done`` the instant their last predecessor finishes.  The public
+    task counters (``completed_count`` etc.) exclude them; ``finished``
+    accounts for every node, barrier or not.
     """
 
     def __init__(self) -> None:
         self._tasks: Dict[int, TaskInstance] = {}
-        self._successors: Dict[int, Set[int]] = {}
-        self._predecessors: Dict[int, Set[int]] = {}
+        self._successors: Dict[int, set] = {}
+        self._predecessors: Dict[int, set] = {}
         self._unfinished_preds: Dict[int, int] = {}
         # Ready queue: linked list in enqueue order + task_id -> node index.
         # Unlinked nodes keep their ``next`` pointer, so an iterator holding
@@ -129,6 +213,10 @@ class TaskGraph:
         self.cancelled_count = 0
         self._pending_count = 0
         self._running_count = 0
+        # Terminal nodes of ANY kind (tasks + barriers): `finished` is the
+        # O(1) comparison of this against len(_tasks).
+        self._terminal_count = 0
+        self.barrier_count = 0
 
     def __len__(self) -> int:
         return len(self._tasks)
@@ -210,9 +298,20 @@ class TaskGraph:
             elif dep_state is not TaskState.DONE:
                 unfinished += 1
         self._unfinished_preds[tid] = unfinished
+        if instance.is_barrier:
+            self.barrier_count += 1
+            if poisoned:
+                instance.state = TaskState.CANCELLED
+                self._terminal_count += 1
+            elif unfinished == 0:
+                # No successors can exist yet, so no cascade to run.
+                instance.state = TaskState.DONE
+                self._terminal_count += 1
+            return
         if poisoned:
             instance.state = TaskState.CANCELLED
             self.cancelled_count += 1
+            self._terminal_count += 1
         elif unfinished == 0:
             instance.state = TaskState.READY
             self._ready_append(tid)
@@ -282,17 +381,37 @@ class TaskGraph:
         self._running_count -= 1
         instance.end_time = now
         self.completed_count += 1
+        self._terminal_count += 1
+        return self._propagate_done(task_id, now)
+
+    def _propagate_done(self, task_id: int, now: float) -> List[TaskInstance]:
+        """Decrement successors of a just-completed node; cascade barriers.
+
+        A barrier whose last predecessor finished completes *here* — it has
+        no work to run — and its own successors are processed in the same
+        pass, so the writer behind a version barrier becomes ready in the
+        very event that finished the final reader.
+        """
         newly_ready: List[TaskInstance] = []
-        for succ in self._successors[task_id]:
-            successor = self._tasks[succ]
-            if successor.state is not TaskState.PENDING:
-                continue
-            self._unfinished_preds[succ] -= 1
-            if self._unfinished_preds[succ] == 0:
-                successor.state = TaskState.READY
-                self._pending_count -= 1
-                self._ready_append(succ)
-                newly_ready.append(successor)
+        stack = [task_id]
+        while stack:
+            done_tid = stack.pop()
+            for succ in self._successors[done_tid]:
+                successor = self._tasks[succ]
+                if successor.state is not TaskState.PENDING:
+                    continue
+                self._unfinished_preds[succ] -= 1
+                if self._unfinished_preds[succ] == 0:
+                    if successor.is_barrier:
+                        successor.state = TaskState.DONE
+                        successor.end_time = now
+                        self._terminal_count += 1
+                        stack.append(succ)
+                    else:
+                        successor.state = TaskState.READY
+                        self._pending_count -= 1
+                        self._ready_append(succ)
+                        newly_ready.append(successor)
         return newly_ready
 
     def mark_failed(self, task_id: int, error: BaseException, now: float = 0.0) -> List[int]:
@@ -313,6 +432,7 @@ class TaskGraph:
         instance.error = error
         instance.end_time = now
         self.failed_count += 1
+        self._terminal_count += 1
         cancelled: List[int] = []
         frontier = list(self._successors[task_id])
         # The visited set keeps the traversal linear on diamond-heavy DAGs:
@@ -325,11 +445,13 @@ class TaskGraph:
             if descendant.state in (TaskState.PENDING, TaskState.READY):
                 if descendant.state is TaskState.READY:
                     self._ready_remove(tid)
-                else:
+                elif not descendant.is_barrier:
                     self._pending_count -= 1
                 descendant.state = TaskState.CANCELLED
-                self.cancelled_count += 1
-                cancelled.append(tid)
+                self._terminal_count += 1
+                if not descendant.is_barrier:
+                    self.cancelled_count += 1
+                    cancelled.append(tid)
                 for succ in self._successors[tid]:
                     if succ not in visited:
                         visited.add(succ)
@@ -342,12 +464,16 @@ class TaskGraph:
     def finished(self) -> bool:
         """True when no task can make further progress.
 
-        O(1): a task is terminal iff DONE, FAILED or CANCELLED, and those
-        three counters are maintained on every transition, so the graph is
-        finished exactly when they account for every registered task.
+        O(1): every node (task or barrier) bumps ``_terminal_count`` exactly
+        once on reaching DONE/FAILED/CANCELLED, so the graph is finished
+        exactly when that counter accounts for every registered node.
         """
-        terminal = self.completed_count + self.failed_count + self.cancelled_count
-        return terminal == len(self._tasks)
+        return self._terminal_count == len(self._tasks)
+
+    @property
+    def task_count(self) -> int:
+        """Application tasks only — graph size minus structural barriers."""
+        return len(self._tasks) - self.barrier_count
 
     @property
     def pending_count(self) -> int:

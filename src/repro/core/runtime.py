@@ -24,7 +24,7 @@ from typing import TYPE_CHECKING, Any, Dict, List, Optional, Union
 if TYPE_CHECKING:
     from repro.intelligence.memoization import TaskMemoizer
 
-from repro.core.access_processor import AccessProcessor
+from repro.core.access_processor import AccessProcessor, PreparedTask, RegisteredTask
 from repro.core.data import DataRegistry
 from repro.core.exceptions import (
     ReproError,
@@ -33,7 +33,7 @@ from repro.core.exceptions import (
 )
 from repro.core.futures import Future
 from repro.core.graph import TaskGraph, TaskInstance, TaskState
-from repro.core.task_definition import TaskDefinition
+from repro.core.task_definition import TaskDefinition, definition_of
 from repro.infrastructure.platform import Platform
 from repro.infrastructure.resources import Node, NodeKind
 from repro.scheduling.policies import SchedulingPolicy
@@ -95,11 +95,18 @@ class Runtime:
         self.platform = platform if platform is not None else _make_local_platform(workers)
         self.memoizer = memoizer
         self.registry = DataRegistry()
-        self.access_processor = AccessProcessor(self.registry)
         self.graph = TaskGraph()
+        # The AP shares the graph so wide WAR fan-in collapses into
+        # structural barrier nodes instead of O(readers) writer deps.
+        self.access_processor = AccessProcessor(self.registry, graph=self.graph)
         self.scheduler = TaskScheduler(self.platform, policy)
         self._cv = threading.Condition()
         self._result_futures: Dict[int, List[Future]] = {}
+        # Targeted wakeups: completions only notify when a thread actually
+        # waits on the finished task (or on the barrier with the graph
+        # drained), so a million unrelated completions wake nobody.
+        self._waiting_on: Dict[int, int] = {}
+        self._barrier_waiters = 0
         self._started = False
         self._t0 = time.monotonic()
         # Imported lazily to avoid a core <-> executor import cycle.
@@ -145,21 +152,111 @@ class Runtime:
     # ------------------------------------------------------------ submission
 
     def submit(self, definition: TaskDefinition, args: tuple, kwargs: dict) -> Any:
-        """Register one task invocation; returns its future(s) immediately."""
+        """Register one task invocation; returns its future(s) immediately.
+
+        The critical section is deliberately thin: signature binding and
+        (dynamic) constraint resolution run before the lock is taken; only
+        registry commits, graph insertion and dispatch serialize.
+        """
         if not self._started:
             raise RuntimeNotStartedError(
                 f"cannot submit {definition.name!r}: runtime not started"
             )
+        prepared = self.access_processor.prepare_task(definition, args, kwargs)
+        self.scheduler.check_satisfiable(prepared.requirements)
         with self._cv:
-            registered = self.access_processor.register_task(definition, args, kwargs)
-            if self._try_memoize(definition, registered):
-                return self._shape_returns(definition, registered.futures)
-            self.scheduler.check_satisfiable(registered.instance.requirements)
-            self.graph.add_task(registered.instance, registered.depends_on)
-            self._result_futures[registered.instance.task_id] = registered.futures
+            registered = self.access_processor.commit_task(prepared)
+            if not self._try_memoize(definition, registered):
+                self._track_locked(registered)
             self.executor.kick_locked()
-            self._cv.notify_all()
         return self._shape_returns(definition, registered.futures)
+
+    def submit_many(
+        self,
+        task_or_definition: Any,
+        calls: "List[tuple]",
+    ) -> List[Any]:
+        """Batched submission: one lock acquisition, one executor kick.
+
+        Args:
+            task_or_definition: a ``@task``-decorated function or its
+                :class:`TaskDefinition`.
+            calls: a sequence of ``(args, kwargs)`` pairs, one per
+                invocation (``kwargs`` may be omitted by passing
+                ``(args,)``).
+
+        Returns the shaped return value (None / Future / tuple of Futures)
+        of each invocation, in order.  Amortizes the per-call lock round
+        trip and coalesces the executor kick, which is what keeps a
+        million-task submission loop from serializing on the master lock.
+        """
+        definition = (
+            task_or_definition
+            if isinstance(task_or_definition, TaskDefinition)
+            else definition_of(task_or_definition)
+        )
+        if definition is None:
+            raise TypeError(
+                "submit_many expects a @task-decorated function or a "
+                f"TaskDefinition, got {task_or_definition!r}"
+            )
+        if not self._started:
+            raise RuntimeNotStartedError(
+                f"cannot submit {definition.name!r}: runtime not started"
+            )
+        prepared_batch: List[PreparedTask] = []
+        last_checked = None
+        for call in calls:
+            if len(call) == 2 and isinstance(call[1], dict):
+                args, kwargs = call
+            else:
+                args, kwargs = call[0] if len(call) == 1 else call, {}
+            prepared = self.access_processor.prepare_task(definition, args, kwargs)
+            # Static constraints intern to one requirements object, so the
+            # satisfiability pre-flight runs once per distinct demand.
+            if prepared.requirements is not last_checked:
+                self.scheduler.check_satisfiable(prepared.requirements)
+                last_checked = prepared.requirements
+            prepared_batch.append(prepared)
+        results: List[Any] = []
+        with self._cv:
+            for prepared in prepared_batch:
+                registered = self.access_processor.commit_task(prepared)
+                if not self._try_memoize(definition, registered):
+                    self._track_locked(registered)
+                results.append(self._shape_returns(definition, registered.futures))
+            self.executor.kick_locked()
+        return results
+
+    def _track_locked(self, registered: RegisteredTask) -> None:
+        """Insert a committed task into the graph and track its futures."""
+        instance = registered.instance
+        self.graph.add_task(instance, registered.depends_on)
+        if instance.state is TaskState.CANCELLED:
+            # Poisoned at birth (an ancestor already failed): settle the
+            # futures immediately instead of tracking them forever.
+            failure = TaskFailedError(
+                instance.label, ReproError("cancelled: an ancestor task failed")
+            )
+            for future in registered.futures:
+                future.fail(failure)
+            self.access_processor.release_futures(registered.futures)
+            self._release_payload(instance)
+            return
+        if registered.futures:
+            self._result_futures[instance.task_id] = registered.futures
+
+    @staticmethod
+    def _release_payload(instance: TaskInstance) -> None:
+        """Drop a finished instance's execution payload (bounded memory).
+
+        The graph keeps every instance for statistics and exports, but a
+        million-task run must not also retain every argument dict for the
+        lifetime of the runtime.
+        """
+        instance.kwargs = {}
+        instance.future_args = {}
+        instance.args = ()
 
     @staticmethod
     def _shape_returns(definition: TaskDefinition, futures: List[Future]) -> Any:
@@ -197,9 +294,9 @@ class Runtime:
         self.graph.add_task(instance, registered.depends_on)
         self.graph.mark_running(instance.task_id, "memo-cache", now=self.now)
         self.graph.mark_done(instance.task_id, now=self.now)
-        self._result_futures[instance.task_id] = registered.futures
-        self._resolve_result_futures(instance, value)
-        self._cv.notify_all()
+        self._resolve_futures(instance, registered.futures, value)
+        self.access_processor.release_futures(registered.futures)
+        self._notify_waiters_locked((instance.task_id,))
         return True
 
     # ------------------------------------------------------- synchronization
@@ -239,25 +336,81 @@ class Runtime:
             return obj
         deadline = None if timeout is None else time.monotonic() + timeout
         with self._cv:
-            while True:
-                state = self.graph.task(writer).state
-                if state is TaskState.DONE:
-                    return obj
-                if state in (TaskState.FAILED, TaskState.CANCELLED):
-                    error = self.graph.task(writer).error
-                    raise TaskFailedError(
-                        self.graph.task(writer).label,
-                        error if error is not None else ReproError("cancelled"),
-                    )
-                self._check_progress_possible(writer)
-                self._cv_wait(deadline)
+            self._add_waiter_locked(writer)
+            try:
+                while True:
+                    state = self.graph.task(writer).state
+                    if state is TaskState.DONE:
+                        return obj
+                    if state in (TaskState.FAILED, TaskState.CANCELLED):
+                        error = self.graph.task(writer).error
+                        raise TaskFailedError(
+                            self.graph.task(writer).label,
+                            error if error is not None else ReproError("cancelled"),
+                        )
+                    self._check_progress_possible(writer)
+                    self._cv_wait(deadline)
+            finally:
+                self._remove_waiter_locked(writer)
 
     def _block_until_resolved(self, future: Future, timeout: Optional[float]) -> None:
         deadline = None if timeout is None else time.monotonic() + timeout
+        producer = future.producer_task_id
         with self._cv:
-            while not future.resolved:
-                self._check_progress_possible(future.producer_task_id)
-                self._cv_wait(deadline)
+            if future.resolved:
+                return
+            self._add_waiter_locked(producer)
+            try:
+                while not future.resolved:
+                    self._check_progress_possible(producer)
+                    self._cv_wait(deadline)
+            finally:
+                self._remove_waiter_locked(producer)
+
+    def wait_for_task(self, task_id: int, timeout: Optional[float] = None) -> None:
+        """Block until ``task_id`` reaches a terminal state.
+
+        Raises :class:`TaskFailedError` if it failed or was cancelled, and
+        :class:`TimeoutError` on deadline expiry.  Backs ``compss_open``.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cv:
+            self._add_waiter_locked(task_id)
+            try:
+                while True:
+                    # Failure/cancellation checks run *inside* the loop so a
+                    # writer that dies mid-wait raises instead of hanging.
+                    self._check_progress_possible(task_id)
+                    if self.graph.task(task_id).state is TaskState.DONE:
+                        return
+                    self._cv_wait(deadline)
+            finally:
+                self._remove_waiter_locked(task_id)
+
+    # Targeted-wakeup bookkeeping: waiters register the task id they block
+    # on; completions call _notify_waiters_locked with the ids that just
+    # settled and skip the notify_all entirely when nobody cares.  The 1.0s
+    # poll in _cv_wait stays as a backstop against a missed notification.
+
+    def _add_waiter_locked(self, task_id: int) -> None:
+        self._waiting_on[task_id] = self._waiting_on.get(task_id, 0) + 1
+
+    def _remove_waiter_locked(self, task_id: int) -> None:
+        count = self._waiting_on.get(task_id, 0) - 1
+        if count <= 0:
+            self._waiting_on.pop(task_id, None)
+        else:
+            self._waiting_on[task_id] = count
+
+    def _notify_waiters_locked(self, task_ids) -> None:
+        if self._barrier_waiters and self.graph.finished:
+            self._cv.notify_all()
+            return
+        if self._waiting_on:
+            for task_id in task_ids:
+                if task_id in self._waiting_on:
+                    self._cv.notify_all()
+                    return
 
     def _cv_wait(self, deadline: Optional[float]) -> None:
         if deadline is None:
@@ -284,8 +437,12 @@ class Runtime:
         """Block until every registered task has finished."""
         deadline = None if timeout is None else time.monotonic() + timeout
         with self._cv:
-            while not self.graph.finished:
-                self._cv_wait(deadline)
+            self._barrier_waiters += 1
+            try:
+                while not self.graph.finished:
+                    self._cv_wait(deadline)
+            finally:
+                self._barrier_waiters -= 1
 
     # ----------------------------------------------------- executor callbacks
 
@@ -294,11 +451,15 @@ class Runtime:
         with self._cv:
             self.scheduler.release(instance)
             self.graph.mark_done(instance.task_id, now=self.now)
-            self._resolve_result_futures(instance, result)
+            futures = self._result_futures.pop(instance.task_id, ())
+            self._resolve_futures(instance, futures, result)
+            if futures:
+                self.access_processor.release_futures(futures)
             if self.memoizer is not None and instance.cache_key is not None:
                 self.memoizer.store(instance.cache_key, result)
+            self._release_payload(instance)
             self.executor.kick_locked()
-            self._cv.notify_all()
+            self._notify_waiters_locked((instance.task_id,))
 
     def on_task_failed(self, instance: TaskInstance, error: BaseException) -> None:
         """Called by the executor when a task raises."""
@@ -306,16 +467,19 @@ class Runtime:
             self.scheduler.release(instance)
             cancelled = self.graph.mark_failed(instance.task_id, error, now=self.now)
             failure = TaskFailedError(instance.label, error)
-            for future in self._result_futures.get(instance.task_id, []):
-                future.fail(failure)
-            for tid in cancelled:
-                for future in self._result_futures.get(tid, []):
+            for tid in (instance.task_id, *cancelled):
+                futures = self._result_futures.pop(tid, ())
+                for future in futures:
                     future.fail(failure)
+                if futures:
+                    self.access_processor.release_futures(futures)
+                self._release_payload(self.graph.task(tid))
             self.executor.kick_locked()
-            self._cv.notify_all()
+            self._notify_waiters_locked((instance.task_id, *cancelled))
 
-    def _resolve_result_futures(self, instance: TaskInstance, result: Any) -> None:
-        futures = self._result_futures.get(instance.task_id, [])
+    def _resolve_futures(
+        self, instance: TaskInstance, futures, result: Any
+    ) -> None:
         if not futures:
             return
         if len(futures) == 1:
@@ -362,7 +526,7 @@ class Runtime:
         """A snapshot of runtime counters (diagnostics, tests, benches)."""
         with self._cv:
             return {
-                "tasks_total": len(self.graph),
+                "tasks_total": self.graph.task_count,
                 "tasks_done": self.graph.completed_count,
                 "tasks_failed": self.graph.failed_count,
                 "tasks_cancelled": self.graph.cancelled_count,
@@ -410,21 +574,23 @@ def compss_barrier(timeout: Optional[float] = None) -> None:
         runtime.barrier(timeout=timeout)
 
 
-def compss_open(path: str, mode: str = "r"):
-    """Open a file after synchronizing the tasks that write it."""
+def compss_open(path: str, mode: str = "r", timeout: Optional[float] = None):
+    """Open a file after synchronizing the tasks that write it.
+
+    Args:
+        path: the tracked file path.
+        mode: passed through to :func:`open`.
+        timeout: maximum seconds to wait for the writing task; ``None``
+            waits indefinitely.  Raises :class:`TimeoutError` on expiry and
+            :class:`TaskFailedError` if the writer failed or was cancelled —
+            checked continuously while waiting, not just up front.
+    """
     runtime = current_runtime()
     if runtime is not None:
         record = runtime.registry.register_file(path)
         writer = record.current.writer_task_id
         if writer is not None:
-            with runtime._cv:
-                while runtime.graph.task(writer).state not in (
-                    TaskState.DONE,
-                    TaskState.FAILED,
-                    TaskState.CANCELLED,
-                ):
-                    runtime._cv_wait(None)
-            runtime._check_progress_possible(writer)
+            runtime.wait_for_task(writer, timeout=timeout)
     return open(path, mode)
 
 

@@ -57,6 +57,29 @@ class TaskDefinition:
         self._signature = inspect.signature(fn)
         self._validate_directions()
 
+    @property
+    def constraints(self) -> ResourceConstraints:
+        return self._constraints
+
+    @constraints.setter
+    def constraints(self, spec: ResourceConstraints) -> None:
+        # @constraint applied after @task swaps the spec in late; drop the
+        # cached static resolution so the new spec takes effect.
+        self._constraints = spec
+        self._static_requirements = None
+
+    def static_requirements(self):
+        """Cached ``constraints.resolve()`` for non-dynamic constraints.
+
+        One task type is invoked millions of times with the same static
+        demand; resolving once per definition instead of once per call
+        keeps the submission hot path allocation-free here.  Only valid
+        when ``constraints.is_dynamic`` is False.
+        """
+        if self._static_requirements is None:
+            self._static_requirements = self._constraints.resolve()
+        return self._static_requirements
+
     def _validate_directions(self) -> None:
         names = set(self._signature.parameters)
         for parameter in self._signature.parameters.values():

@@ -26,11 +26,21 @@ if TYPE_CHECKING:
 class LocalExecutor:
     """Dispatches ready tasks to a thread pool under ledger capacity."""
 
-    def __init__(self, runtime: "Runtime", pool_size: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        runtime: "Runtime",
+        pool_size: Optional[int] = None,
+        dispatch_window: int = 64,
+    ) -> None:
         self.runtime = runtime
         if pool_size is None:
             pool_size = min(128, max(2, runtime.platform.total_cores))
         self.pool_size = pool_size
+        # Stop scanning the ready queue after this many consecutive failed
+        # placements: bounds each kick at O(placed + window) instead of
+        # O(ready), which is what keeps a million-task submission loop from
+        # re-walking the whole backlog on every submit.
+        self.dispatch_window = dispatch_window
         self._pool: Optional[ThreadPoolExecutor] = None
         self._shutdown = False
 
@@ -56,11 +66,30 @@ class LocalExecutor:
             return
         graph = self.runtime.graph
         scheduler = self.runtime.scheduler
-        # Iterate over a snapshot: mark_running mutates the ready list.
-        for instance in list(graph.ready_tasks()):
+        consecutive_failures = 0
+        # Requirement signatures that failed for lack of capacity this pass.
+        # The lock is held, so capacity only shrinks while this pass
+        # allocates — an identical demand cannot become placeable before the
+        # pass ends, and skipping it collapses homogeneous backlogs to one
+        # placement attempt per pass.
+        blocked_reqs = set()
+        for instance in graph.iter_ready():
+            if scheduler.total_free_cores <= 0:
+                break
+            if instance.requirements in blocked_reqs:
+                consecutive_failures += 1
+                if consecutive_failures >= self.dispatch_window:
+                    break
+                continue
             nodes = scheduler.try_place(instance)
             if nodes is None:
+                if scheduler.last_failure_was_capacity:
+                    blocked_reqs.add(instance.requirements)
+                consecutive_failures += 1
+                if consecutive_failures >= self.dispatch_window:
+                    break
                 continue
+            consecutive_failures = 0
             graph.mark_running(instance.task_id, nodes[0], now=self.runtime.now)
             instance.assigned_nodes = nodes
             self._pool.submit(self._run, instance)

@@ -9,18 +9,34 @@ programs, so the simulated graphs exercise the identical graph machinery.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
 
+from repro.core.access_processor import WAR_FANIN_BARRIER_THRESHOLD
 from repro.core.constraints import ResolvedRequirements
-from repro.core.graph import SimProfile, TaskGraph, TaskInstance
+from repro.core.graph import (
+    SimProfile,
+    TaskGraph,
+    TaskInstance,
+    make_barrier_instance,
+)
 
 
-@dataclass
 class _DatumState:
-    writer: Optional[int] = None
-    readers: List[int] = field(default_factory=list)
-    size_bytes: float = 0.0
+    """Per-datum dependency state; slotted — one per datum in 200k+ builds."""
+
+    __slots__ = ("writer", "readers", "size_bytes", "barrier")
+
+    def __init__(
+        self,
+        writer: Optional[int] = None,
+        readers: Optional[List[int]] = None,
+        size_bytes: float = 0.0,
+    ) -> None:
+        self.writer = writer
+        self.readers = readers if readers is not None else []
+        self.size_bytes = size_bytes
+        #: last flushed WAR fan-in barrier covering readers before the tail
+        self.barrier: Optional[int] = None
 
 
 class SimWorkflowBuilder:
@@ -28,13 +44,21 @@ class SimWorkflowBuilder:
 
     Data dependencies are derived from datum names: a task reading ``"x"``
     depends on the last task that declared ``"x"`` among its outputs (RAW);
-    re-writing a datum adds WAR/WAW edges exactly like the real AP.
+    re-writing a datum adds WAR/WAW edges exactly like the real AP —
+    including the WAR fan-in barrier collapse, so a simulated
+    read-by-thousands-then-write datum costs the writer O(1) edges.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, war_fanin_threshold: int = WAR_FANIN_BARRIER_THRESHOLD) -> None:
         self.graph = TaskGraph()
         self._data: Dict[str, _DatumState] = {}
         self._ids = itertools.count(1)
+        self.war_fanin_threshold = war_fanin_threshold
+        # Simulated workloads submit thousands of tasks sharing a handful of
+        # distinct resource demands; interning the frozen requirements
+        # objects keeps per-task build allocations (and the blocked-reqs
+        # dispatch skip, which hashes them) cheap.
+        self._requirements_cache: Dict[tuple, ResolvedRequirements] = {}
         #: sizes of data that exist before the workflow starts (initial data)
         self.initial_data: Dict[str, float] = {}
 
@@ -65,6 +89,7 @@ class SimWorkflowBuilder:
         input_sizes: Dict[str, float] = {}
         output_sizes: Dict[str, float] = {}
 
+        output_names = outputs or {}
         for name in inputs:
             state = self._data.get(name)
             if state is None:
@@ -74,16 +99,28 @@ class SimWorkflowBuilder:
                 )
             if state.writer is not None:
                 deps.add(state.writer)
+            # Flush a full reader tail behind a barrier before appending
+            # this reader — but never when this task also rewrites the
+            # datum (the barrier id would postdate this task's own id; the
+            # write consumes the bounded tail directly instead).
+            if (
+                name not in output_names
+                and len(state.readers) >= self.war_fanin_threshold
+            ):
+                self._flush_war_barrier(name, state)
             state.readers.append(task_id)
             reads.append(name)
             input_sizes[name] = state.size_bytes
 
-        for name, size in (outputs or {}).items():
+        for name, size in output_names.items():
             state = self._data.get(name)
             if state is not None:
                 if state.writer is not None:
                     deps.add(state.writer)
+                if state.barrier is not None:
+                    deps.add(state.barrier)
                 deps.update(r for r in state.readers if r != task_id)
+            # Fresh state per write: the O(1) reader-set swap.
             self._data[name] = _DatumState(writer=task_id, size_bytes=float(size))
             writes.append(name)
             output_sizes[name] = float(size)
@@ -92,12 +129,8 @@ class SimWorkflowBuilder:
         instance = TaskInstance(
             task_id=task_id,
             label=f"{label}#{task_id}",
-            requirements=ResolvedRequirements(
-                cores=cores,
-                memory_mb=memory_mb,
-                gpus=gpus,
-                software=frozenset(software),
-                nodes=nodes,
+            requirements=self._intern_requirements(
+                cores, memory_mb, gpus, frozenset(software), nodes
             ),
             reads=reads,
             writes=writes,
@@ -109,6 +142,39 @@ class SimWorkflowBuilder:
         )
         self.graph.add_task(instance, depends_on=deps)
         return instance
+
+    def _flush_war_barrier(self, name: str, state: _DatumState) -> None:
+        """Collapse the datum's reader tail behind one structural node."""
+        barrier_id = next(self._ids)
+        barrier_deps: Set[int] = set(state.readers)
+        if state.barrier is not None:
+            barrier_deps.add(state.barrier)
+        self.graph.add_task(
+            make_barrier_instance(barrier_id, f"war-barrier/{name}"), barrier_deps
+        )
+        state.barrier = barrier_id
+        state.readers = []
+
+    def _intern_requirements(
+        self,
+        cores: int,
+        memory_mb: int,
+        gpus: int,
+        software: frozenset,
+        nodes: int,
+    ) -> ResolvedRequirements:
+        key = (cores, memory_mb, gpus, software, nodes)
+        cached = self._requirements_cache.get(key)
+        if cached is None:
+            cached = ResolvedRequirements(
+                cores=cores,
+                memory_mb=memory_mb,
+                gpus=gpus,
+                software=software,
+                nodes=nodes,
+            )
+            self._requirements_cache[key] = cached
+        return cached
 
     def datum_size(self, name: str) -> float:
         return self._data[name].size_bytes

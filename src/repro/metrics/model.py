@@ -64,23 +64,28 @@ def analyze_graph(graph: TaskGraph) -> WorkflowModel:
     critical_path = graph.critical_path_length(_duration)
 
     # Level = longest hop-distance from any source; width = tasks per level.
+    # Structural WAR barriers are zero-height pass-throughs: they inherit
+    # their deepest predecessor's level without adding a hop (the collapsed
+    # edges they stand for were direct) and are excluded from widths.
     level: Dict[int, int] = {}
+    widths: Dict[int, int] = {}
     for instance in graph.tasks:  # insertion order is topological
         preds = graph.predecessors(instance.task_id)
-        level[instance.task_id] = (
-            1 + max(level[p] for p in preds) if preds else 0
-        )
-    widths: Dict[int, int] = {}
-    for lvl in level.values():
-        widths[lvl] = widths.get(lvl, 0) + 1
+        depth = max((level[p] for p in preds), default=-1)
+        if not instance.is_barrier:
+            depth += 1
+            widths[depth] = widths.get(depth, 0) + 1
+        level[instance.task_id] = max(depth, 0)
     level_widths = [widths[i] for i in sorted(widths)] if widths else []
 
+    task_count = graph.task_count
+
     return WorkflowModel(
-        task_count=len(graph),
+        task_count=task_count,
         total_work_s=total_work,
         critical_path_s=critical_path,
         average_parallelism=(
-            total_work / critical_path if critical_path > 0 else float(len(graph) or 0)
+            total_work / critical_path if critical_path > 0 else float(task_count or 0)
         ),
         max_width=max(level_widths, default=0),
         level_widths=level_widths,

@@ -97,6 +97,7 @@ class SteeringMonitor:
             t
             for t in graph.tasks
             if t.state in (TaskState.PENDING, TaskState.READY)
+            and not t.is_barrier
         ]
         self.report.saved_task_count = len(remaining)
         self._sweep()
