@@ -26,7 +26,7 @@ import os
 import sys
 import time
 
-from _common import print_table, run_once, runtime_scaling_targets
+from _common import bench_scale, print_table, run_once, runtime_scaling_targets
 
 from repro.executor import SimulatedExecutor
 from repro.infrastructure import make_hpc_cluster
@@ -47,7 +47,7 @@ def _chunks_for(target_tasks: int) -> int:
     return max(1, round(target_tasks / (_CHROMOSOMES * _TASKS_PER_CHUNK)))
 
 
-def run_point(target_tasks: int) -> dict:
+def run_point(target_tasks: int, nodes: int = NODES) -> dict:
     config = GuidanceConfig(
         chromosomes=_CHROMOSOMES, chunks_per_chromosome=_chunks_for(target_tasks)
     )
@@ -63,7 +63,7 @@ def run_point(target_tasks: int) -> dict:
         start = time.perf_counter()
         workload = build_guidance_workflow(config)
         build_seconds = time.perf_counter() - start
-        platform = make_hpc_cluster(NODES)
+        platform = make_hpc_cluster(nodes)
         executor = SimulatedExecutor(
             workload.graph,
             platform,
@@ -85,7 +85,7 @@ def run_point(target_tasks: int) -> dict:
     tasks = workload.task_count
     return {
         "tasks": tasks,
-        "nodes": NODES,
+        "nodes": nodes,
         "build_seconds": build_seconds,
         "build_us_per_task": build_seconds / tasks * 1e6 if tasks else 0.0,
         "run_seconds": run_seconds,
@@ -102,6 +102,36 @@ def run_sweep() -> list:
     # sweep point and distort the flatness ratios.
     run_point(1_000)
     return [run_point(target) for target in runtime_scaling_targets()]
+
+
+def node_sweep_counts() -> list:
+    """Platform widths for the placement-cost sweep (E1d)."""
+    return [100, 200] if bench_scale() == "smoke" else [100, 200, 400]
+
+
+def _node_sweep_tasks() -> int:
+    return 10_000 if bench_scale() == "smoke" else 20_000
+
+
+def run_node_sweep() -> list:
+    run_point(1_000)  # same warmup rationale as run_sweep
+    tasks = _node_sweep_tasks()
+    return [run_point(tasks, nodes=n) for n in node_sweep_counts()]
+
+
+def _merge_results(updates: dict) -> None:
+    """Fold ``updates`` into BENCH_runtime_scaling.json without clobbering
+    the keys other tests in this module wrote (each test may run alone)."""
+    results = {"experiment": "runtime_scaling"}
+    try:
+        with open(RESULTS_PATH) as fh:
+            results = json.load(fh)
+    except (OSError, ValueError):
+        pass
+    results.update(updates)
+    with open(RESULTS_PATH, "w") as fh:
+        json.dump(results, fh, indent=2)
+        fh.write("\n")
 
 
 def test_runtime_overhead_scaling(benchmark):
@@ -123,9 +153,7 @@ def test_runtime_overhead_scaling(benchmark):
     )
     sys.stdout.flush()
 
-    with open(RESULTS_PATH, "w") as fh:
-        json.dump({"experiment": "runtime_scaling", "points": points}, fh, indent=2)
-        fh.write("\n")
+    _merge_results({"points": points})
 
     # Every point must complete its whole graph.
     assert all(p["tasks_done"] == p["tasks"] for p in points)
@@ -148,3 +176,81 @@ def test_runtime_overhead_scaling(benchmark):
             f"{p['build_us_per_task']:.1f} us/task vs best "
             f"{cheapest:.1f} us/task elsewhere in the sweep"
         )
+
+
+#: Events/sec floor for the 10k-task point on 100 nodes (CI smoke guard).
+#: Post-PR-4 the point runs at ~25-30k ev/s locally; the seed placement
+#: path managed ~10.5k.  The floor sits below seed level so it only trips
+#: on order-of-magnitude regressions, not on slow CI runners.
+PLACEMENT_EVENTS_PER_SEC_FLOOR = 8_000.0
+
+
+def test_placement_throughput_floor(benchmark):
+    """One placement-heavy point must clear an absolute events/sec floor.
+
+    The E1b flatness assertion is relative (largest vs smallest point), so
+    a uniform slowdown across the whole sweep would pass it.  This pins an
+    absolute rate on the 10k point, where a placement-path regression
+    (candidate scans, policy re-scoring, blocked-queue re-walks) shows up
+    directly.
+    """
+
+    def run_floor_point() -> dict:
+        run_point(1_000)  # warmup (allocator freelists, method caches)
+        return run_point(10_000)
+
+    point = run_once(benchmark, run_floor_point)
+    print_table(
+        "E1 placement-throughput floor (10k tasks, 100 nodes)",
+        ["tasks", "events", "run_s", "events/s", "floor"],
+        [
+            (
+                point["tasks"],
+                point["events"],
+                point["run_seconds"],
+                point["events_per_sec"],
+                PLACEMENT_EVENTS_PER_SEC_FLOOR,
+            )
+        ],
+    )
+    sys.stdout.flush()
+    assert point["tasks_done"] == point["tasks"]
+    assert point["events_per_sec"] >= PLACEMENT_EVENTS_PER_SEC_FLOOR, (
+        f"placement throughput regressed: {point['events_per_sec']:.0f} ev/s "
+        f"on the 10k-task point, floor is {PLACEMENT_EVENTS_PER_SEC_FLOOR:.0f}"
+    )
+
+
+def test_placement_node_scaling(benchmark):
+    """E1d — per-event cost stays near-flat as the platform widens.
+
+    Same GUIDANCE workload, 100 -> 400 nodes: with the bucket-indexed
+    ``candidates()`` a placement touches only plausibly-fitting nodes, so
+    quadrupling the platform must not tank the event rate (the pre-index
+    path scanned every node per ``try_place`` and degraded linearly).
+    """
+    points = run_once(benchmark, run_node_sweep)
+    print_table(
+        "E1d: placement cost vs platform width (expected shape: near-flat events/sec)",
+        ["nodes", "tasks", "events", "run_s", "events/s", "makespan_h"],
+        [
+            (
+                p["nodes"],
+                p["tasks"],
+                p["events"],
+                p["run_seconds"],
+                p["events_per_sec"],
+                p["makespan_s"] / 3600,
+            )
+            for p in points
+        ],
+    )
+    sys.stdout.flush()
+    _merge_results({"node_sweep": points})
+    assert all(p["tasks_done"] == p["tasks"] for p in points)
+    narrowest, widest = points[0], points[-1]
+    assert widest["events_per_sec"] * 2.0 >= narrowest["events_per_sec"], (
+        f"placement cost grows with platform width: {narrowest['nodes']} nodes "
+        f"ran at {narrowest['events_per_sec']:.0f} ev/s but {widest['nodes']} "
+        f"nodes ran at {widest['events_per_sec']:.0f} ev/s"
+    )

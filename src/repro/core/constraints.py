@@ -49,6 +49,32 @@ class ResolvedRequirements:
             raise ValueError(f"gpus must be >= 0, got {self.gpus}")
         if self.nodes < 1:
             raise ValueError(f"nodes must be >= 1, got {self.nodes}")
+        # Requirements are hashed on every dispatch decision (blocked-demand
+        # sets, candidate-cache keys); the instance is frozen, so compute the
+        # hash once instead of re-hashing five fields per lookup.
+        object.__setattr__(
+            self,
+            "_hash",
+            hash((self.cores, self.memory_mb, self.gpus, self.software, self.nodes)),
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def demands_no_more_than(self, other: "ResolvedRequirements") -> bool:
+        """True if every resource this demand needs, ``other`` needs too.
+
+        ``fits_now`` is monotone in the demand, so if this demand found no
+        capacity, neither can any ``other`` that dominates it — the property
+        behind the dispatch loop's blocked-demand skip.
+        """
+        return (
+            self.cores <= other.cores
+            and self.memory_mb <= other.memory_mb
+            and self.gpus <= other.gpus
+            and self.nodes <= other.nodes
+            and self.software <= other.software
+        )
 
     def fits_node(self, node: Node) -> bool:
         """Static check: could this demand ever run on ``node``?"""

@@ -90,6 +90,7 @@ class TaskInstance:
         "attempts",
         "cache_key",
         "is_barrier",
+        "blocked_seq",
     )
 
     def __init__(
@@ -146,6 +147,11 @@ class TaskInstance:
         # Structural WAR fan-in collapse node (never scheduled or executed;
         # completes inside the graph when its predecessors finish).
         self.is_barrier = is_barrier
+        # Scheduler bookkeeping: capacity-ledger grow tick at which this
+        # task's demand was last proven unplaceable (None = never/cleared).
+        # A slot, not a dispatcher-side dict, because the dispatcher reads
+        # it for every ready task on every pass.
+        self.blocked_seq: Optional[int] = None
 
     @property
     def duration(self) -> Optional[float]:
@@ -208,6 +214,12 @@ class TaskGraph:
         self._ready_head: Optional[_ReadyNode] = None
         self._ready_tail: Optional[_ReadyNode] = None
         self._ready_nodes: Dict[int, _ReadyNode] = {}
+        # Bumped on every ready-queue *removal*.  Insertions are always tail
+        # appends, so a dispatcher that cached facts about a queue prefix
+        # (see SimulatedExecutor's blocked-prefix cursor) only needs to
+        # watch this counter: an unchanged epoch proves the prefix is
+        # byte-identical to when it was certified.
+        self.ready_epoch = 0
         self.completed_count = 0
         self.failed_count = 0
         self.cancelled_count = 0
@@ -254,6 +266,7 @@ class TaskGraph:
     def _ready_remove(self, task_id: int) -> None:
         node = self._ready_nodes.pop(task_id)
         node.live = False
+        self.ready_epoch += 1
         if node.prev is None:
             self._ready_head = node.next
         else:
@@ -324,7 +337,7 @@ class TaskGraph:
         """Tasks whose dependencies are all satisfied, in registration order."""
         return list(self.iter_ready())
 
-    def iter_ready(self) -> Iterator[TaskInstance]:
+    def iter_ready(self, start_after: Optional[int] = None) -> Iterator[TaskInstance]:
         """Lazily yield ready tasks in queue order (no O(ready) snapshot).
 
         The yielded task (and only it) may be marked running/failed while
@@ -333,8 +346,18 @@ class TaskGraph:
         scan a bounded window of a huge ready queue and stop without ever
         touching the rest.  Tasks made ready during iteration are not
         guaranteed to be seen.
+
+        ``start_after`` resumes iteration just past the given (still-ready)
+        task id, letting a dispatcher hop over a prefix it has already
+        proven unplaceable this pass instead of re-walking it.  If the
+        anchor task is no longer queued, iteration starts from the head
+        (callers guard anchor validity with ``ready_epoch``).
         """
-        node = self._ready_head
+        if start_after is None:
+            node = self._ready_head
+        else:
+            anchor = self._ready_nodes.get(start_after)
+            node = anchor.next if anchor is not None else self._ready_head
         while node is not None:
             if node.live:
                 yield self._tasks[node.tid]

@@ -18,6 +18,7 @@ from typing import TYPE_CHECKING, Any, Dict, Optional
 
 from repro.core.futures import Future
 from repro.core.graph import TaskInstance
+from repro.scheduling.scheduler import BlockedDemandFrontier
 
 if TYPE_CHECKING:
     from repro.core.runtime import Runtime
@@ -66,27 +67,31 @@ class LocalExecutor:
             return
         graph = self.runtime.graph
         scheduler = self.runtime.scheduler
+        ledger = scheduler.ledger
+        window = self.dispatch_window
         consecutive_failures = 0
-        # Requirement signatures that failed for lack of capacity this pass.
-        # The lock is held, so capacity only shrinks while this pass
-        # allocates — an identical demand cannot become placeable before the
-        # pass ends, and skipping it collapses homogeneous backlogs to one
-        # placement attempt per pass.
-        blocked_reqs = set()
+        # Demands that failed for lack of capacity this pass.  The lock is
+        # held, so capacity only shrinks while this pass allocates — any
+        # demand needing at least as much as one that already failed cannot
+        # become placeable before the pass ends, and skipping it collapses
+        # blocked backlogs (even heterogeneous ones, e.g. per-task dynamic
+        # memory) to one frontier comparison per task.
+        blocked = BlockedDemandFrontier()
         for instance in graph.iter_ready():
-            if scheduler.total_free_cores <= 0:
+            if ledger.total_free_cores <= 0:
                 break
-            if instance.requirements in blocked_reqs:
+            req = instance.requirements
+            if blocked.covers(req):
                 consecutive_failures += 1
-                if consecutive_failures >= self.dispatch_window:
+                if consecutive_failures >= window:
                     break
                 continue
             nodes = scheduler.try_place(instance)
             if nodes is None:
                 if scheduler.last_failure_was_capacity:
-                    blocked_reqs.add(instance.requirements)
+                    blocked.add(req)
                 consecutive_failures += 1
-                if consecutive_failures >= self.dispatch_window:
+                if consecutive_failures >= window:
                     break
                 continue
             consecutive_failures = 0

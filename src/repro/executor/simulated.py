@@ -19,7 +19,7 @@ Model choices (kept deliberately simple and documented):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional, Set
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 if TYPE_CHECKING:
     from repro.intelligence.predictor import DurationPredictor
@@ -27,9 +27,9 @@ if TYPE_CHECKING:
 from repro.core.graph import TaskGraph, TaskInstance, TaskState
 from repro.infrastructure.platform import Platform
 from repro.infrastructure.resources import Node
-from repro.scheduling.locations import DataLocationService
+from repro.scheduling.locations import DataLocationService, TransferPlanner
 from repro.scheduling.policies import SchedulingPolicy
-from repro.scheduling.scheduler import TaskScheduler
+from repro.scheduling.scheduler import BlockedDemandFrontier, TaskScheduler
 from repro.simulation.engine import SimulationEngine
 from repro.simulation.events import Event
 
@@ -100,8 +100,46 @@ class SimulatedExecutor:
         self.extra_stage_in = extra_stage_in
         self.resubmissions = 0
         self._completion_events: Dict[int, Event] = {}
+        # Certified-blocked bookkeeping lives on each TaskInstance
+        # (``blocked_seq``): the grow tick at which its demand provably fit
+        # no node.  Each pass re-checks such a task against only the nodes
+        # whose capacity grew since (the ledger journals growths), instead
+        # of re-probing the whole ledger.
+        # grow_seq observed at the start of the previous dispatch pass:
+        # everything certified by that pass carries it, which lets the next
+        # pass precompute their shared grown-since set once.
+        self._last_dispatch_seq = 0
+        # Blocked-prefix cursor: the head of the ready queue is typically a
+        # stable run of certified-blocked tasks that every pass re-walks.
+        # Snapshot the run as (cores, memory_mb, gpus, task_id) tuples so
+        # the next pass can refute members against the component maxima of
+        # just the nodes grown since the snapshot's tick — three integer
+        # compares each instead of a ready-queue yield plus per-task
+        # machinery — and resume the real scan at the first member the
+        # grown capacity might actually satisfy.  Valid only while
+        # graph.ready_epoch is unchanged: insertions are tail-only, so an
+        # unchanged epoch (no removals) pins the prefix in place.
+        self._prefix_demands: List[tuple] = []
+        self._prefix_seq = 0
+        self._prefix_epoch = -1
         self._busy_seconds: Dict[str, float] = {}
         self._dispatch_scheduled = False
+        # Latest terminal (done/failed) task time so far: engine time is
+        # monotonic, so this IS the makespan — run() never rescans the graph.
+        self._makespan = 0.0
+        # Stage-in route memo, shared with the policy's planner when the
+        # policy estimated placements over the same locations and network
+        # (earliest-finish-time): the chosen node's transfer times were
+        # already computed during selection.
+        policy_planner = getattr(self.scheduler.policy, "planner", None)
+        if (
+            policy_planner is not None
+            and policy_planner.locations is self.locations
+            and policy_planner.network is platform.network
+        ):
+            self._planner = policy_planner
+        else:
+            self._planner = TransferPlanner(self.locations, platform.network)
         # Initial data (input files): place on the declared node, or spread
         # round-robin across alive nodes when unspecified.
         if initial_data:
@@ -129,10 +167,7 @@ class SimulatedExecutor:
                 f"simulation drained with {len(stuck)} unrunnable tasks "
                 f"(first few: {stuck[:5]}); check constraints vs platform"
             )
-        makespan = max(
-            (t.end_time for t in self.graph.tasks if t.end_time is not None),
-            default=0.0,
-        )
+        makespan = self._makespan
         return SimulationReport(
             makespan=makespan,
             tasks_done=self.graph.completed_count,
@@ -155,41 +190,307 @@ class SimulatedExecutor:
 
     def _dispatch(self) -> None:
         self._dispatch_scheduled = False
+        graph = self.graph
+        scheduler = self.scheduler
+        ledger = scheduler.ledger
+        locations = self.locations
+        window = self.dispatch_window
+        # Demands that failed for lack of capacity this pass.  Capacity only
+        # shrinks while a pass allocates (completions are separate events),
+        # so a demand needing at least as much as one that already failed
+        # cannot become placeable before the pass ends — skipping it is
+        # exact, and collapses the re-walk of a blocked prefix to one
+        # frontier comparison per task instead of a ledger probe.
+        blocked = BlockedDemandFrontier()
+        blocked_covers = blocked.covers
+        blocked_add = blocked.add
+        # Cross-pass certifications: a task that provably fit nowhere at
+        # grow tick S stays blocked unless a node that grew *after* S fits
+        # it now — every untouched node has only shrunk since the proof.
+        # No growth happens mid-pass, so within this pass a certification
+        # at cur_seq is final.  (The tick lives on the instance itself:
+        # a slot read beats a dict probe at this call frequency.)
+        grown_entries = ledger.grow_log.values()
+        cur_seq = ledger.grow_seq
+        try_place = scheduler.try_place
+        free_cores = ledger.total_free_cores
+        if free_cores <= 0:
+            # Nothing can be placed and no certification would change:
+            # leave every cross-pass structure exactly as it was.
+            return
+        # Lost data can only be *recovered* mid-pass (stage-in publishes
+        # copies; nothing evicts), so the check hoists out of the loop —
+        # failure-free runs never pay the per-task input scan.
+        check_lost = locations.has_lost_data
+        # Blocked-prefix cursor: if the certified head run survived intact
+        # (no ready-queue removals since it was snapshot), the whole pass
+        # walks the snapshot tuples instead of the ready queue.  A member
+        # whose demand exceeds, on any axis, the component maxima of the
+        # nodes grown since the snapshot's tick is refuted by three integer
+        # compares — no instance fetch, no queue yield.  Only plausible
+        # members get the full treatment (probe the grown nodes, then
+        # try_place); after a placement the maxima are refreshed from the
+        # grown nodes' now-current state so later members are judged
+        # against what actually remains.  The walk is order-identical to
+        # the real scan, so placements and the consecutive-failure window
+        # behave exactly as if the queue had been walked.
+        start_after = None
         consecutive_failures = 0
-        # Requirement signatures that failed for lack of capacity this pass.
-        # Capacity only shrinks while a pass allocates (completions are
-        # separate events), so an identical demand cannot become placeable
-        # before the pass ends — skipping it is exact, and collapses the
-        # re-walk of a blocked same-shaped prefix to one set lookup per task.
-        blocked_reqs: Set[object] = set()
-        for instance in self.graph.iter_ready():
-            if self.scheduler.total_free_cores <= 0:
+        demands = self._prefix_demands
+        run_list: List[tuple] = []
+        run_append = run_list.append
+        run_live = True
+        skip_scan = False
+        if (
+            demands
+            and not check_lost
+            and graph.ready_epoch == self._prefix_epoch
+        ):
+            pseq = self._prefix_seq
+            grown_list: List[tuple] = []
+            for entry in reversed(grown_entries):
+                if entry[0] <= pseq:
+                    break
+                grown_list.append(entry)
+            pmc = pmm = pmg = -1
+            for _, g_state in grown_list:
+                if g_state.free_cores > pmc:
+                    pmc = g_state.free_cores
+                if g_state.free_memory_mb > pmm:
+                    pmm = g_state.free_memory_mb
+                if g_state.free_gpus > pmg:
+                    pmg = g_state.free_gpus
+            get_task = graph.task
+            for d in demands:
+                if d[0] > pmc or d[1] > pmm or d[2] > pmg:
+                    # Refuted against everything grown since the tick: the
+                    # member stays certified, now effectively at cur_seq.
+                    if run_live:
+                        run_append(d)
+                    start_after = d[3]
+                    consecutive_failures += 1
+                    if consecutive_failures >= window:
+                        skip_scan = True
+                        break
+                    continue
+                instance = get_task(d[3])
+                req = instance.requirements
+                refit = False
+                for _, g_state in grown_list:
+                    if g_state.fits_now(req):
+                        refit = True
+                        break
+                if not refit:
+                    if run_live:
+                        run_append(d)
+                    start_after = d[3]
+                    consecutive_failures += 1
+                    if consecutive_failures >= window:
+                        skip_scan = True
+                        break
+                    continue
+                nodes = try_place(instance)
+                if nodes is None:
+                    if scheduler.last_failure_was_capacity:
+                        blocked_add(req)
+                        if run_live:
+                            run_append(d)
+                    else:
+                        # Declined but not certified: it stays queued, so
+                        # the snapshot cannot extend past it.
+                        run_live = False
+                    start_after = d[3]
+                    consecutive_failures += 1
+                    if consecutive_failures >= window:
+                        skip_scan = True
+                        break
+                    continue
+                consecutive_failures = 0
+                instance.blocked_seq = None
+                self._start_task(instance, nodes)
+                free_cores = ledger.total_free_cores
+                if free_cores <= 0:
+                    skip_scan = True
+                    break
+                pmc = pmm = pmg = -1
+                for _, g_state in grown_list:
+                    if g_state.free_cores > pmc:
+                        pmc = g_state.free_cores
+                    if g_state.free_memory_mb > pmm:
+                        pmm = g_state.free_memory_mb
+                    if g_state.free_gpus > pmg:
+                        pmg = g_state.free_gpus
+            if skip_scan:
+                # The walk ended inside the snapshot (window exhausted or
+                # no capacity left): the queue behind it was never going
+                # to be reached, so the pass is over.
+                self._prefix_demands = run_list
+                if run_list:
+                    self._prefix_seq = cur_seq
+                self._prefix_epoch = graph.ready_epoch
+                return
+        # The snapshot for the next pass grows from the scan's certified
+        # run: placed, failed and cancelled tasks leave the queue, so the
+        # certified survivors stay contiguous from the scan's start; only
+        # a non-capacity decline (policy chose to wait) stays queued
+        # without a certification and caps the run.
+        # Tasks the previous pass re-certified all carry seq >= last_seq, so
+        # they share one grown-since set: the nodes that grew after last_seq
+        # (typically the one node a completion just freed).  Component-wise
+        # maxima over that set give an O(1) sound reject — a demand above
+        # the maxima cannot fit any grown node (maxima are taken at pass
+        # start and nodes only shrink mid-pass, so the reject never lies;
+        # a pass may only probe more than strictly needed).
+        last_seq = self._last_dispatch_seq
+        self._last_dispatch_seq = cur_seq
+        recent: List = []
+        for entry in reversed(grown_entries):
+            if entry[0] <= last_seq:
                 break
-            lost = [d for d in instance.reads if self.locations.is_lost(d)]
-            if lost:
-                self.graph.mark_failed(
-                    instance.task_id,
-                    RuntimeError(f"inputs {lost[:3]} lost and not persisted"),
-                    now=self.engine.now,
-                )
-                if self.graph.finished:
-                    self.engine.stop()
-                continue
-            if instance.requirements in blocked_reqs:
+            recent.append(entry)
+        g_max_cores = -1
+        g_max_mem = -1
+        g_max_gpus = -1
+        for _, g_state in recent:
+            if g_state.free_cores > g_max_cores:
+                g_max_cores = g_state.free_cores
+            if g_state.free_memory_mb > g_max_mem:
+                g_max_mem = g_state.free_memory_mb
+            if g_state.free_gpus > g_max_gpus:
+                g_max_gpus = g_state.free_gpus
+        # Tasks certified before last pass (their window slot rotated out)
+        # share few distinct ticks; memoize, per tick, the component maxima
+        # over the nodes grown since it.  First task with a stale tick pays
+        # one plain attribute walk; the rest reject in O(1).  Maxima are
+        # read at memo time and nodes only shrink mid-pass, so a reject
+        # never lies (a probe may just be more generous than needed).
+        cold_maxima: Dict[int, tuple] = {}
+        cold_maxima_get = cold_maxima.get
+        for instance in graph.iter_ready(start_after):
+            if free_cores <= 0:
+                break
+            if check_lost:
+                lost = [d for d in instance.reads if locations.is_lost(d)]
+                if lost:
+                    graph.mark_failed(
+                        instance.task_id,
+                        RuntimeError(f"inputs {lost[:3]} lost and not persisted"),
+                        now=self.engine.now,
+                    )
+                    self._makespan = self.engine.now
+                    if graph.finished:
+                        self.engine.stop()
+                    continue
+            req = instance.requirements
+            seq = instance.blocked_seq
+            if seq is not None:
+                if seq >= last_seq:
+                    # Hot path: certified by the previous pass, so only the
+                    # precomputed ``recent`` growths matter.  Demands above
+                    # the component maxima are rejected without a probe.
+                    if (
+                        req.cores > g_max_cores
+                        or req.memory_mb > g_max_mem
+                        or req.gpus > g_max_gpus
+                    ):
+                        refit = False
+                    else:
+                        refit = False
+                        for entry in recent:
+                            if entry[0] <= seq:
+                                break
+                            if entry[1].fits_now(req):
+                                refit = True
+                                break
+                else:
+                    # Cold path: stale certification.  Bound the grown-since
+                    # walk with the memoized suffix maxima before paying
+                    # per-node probes.
+                    m = cold_maxima_get(seq)
+                    if m is None:
+                        mc = mm = mg = -1
+                        for grown_seq, g_state in reversed(grown_entries):
+                            if grown_seq <= seq:
+                                break
+                            if g_state.free_cores > mc:
+                                mc = g_state.free_cores
+                            if g_state.free_memory_mb > mm:
+                                mm = g_state.free_memory_mb
+                            if g_state.free_gpus > mg:
+                                mg = g_state.free_gpus
+                        cold_maxima[seq] = m = (mc, mm, mg)
+                    if req.cores > m[0] or req.memory_mb > m[1] or req.gpus > m[2]:
+                        refit = False
+                    else:
+                        refit = False
+                        for grown_seq, grown_state in reversed(grown_entries):
+                            if grown_seq <= seq:
+                                break
+                            if grown_state.fits_now(req):
+                                refit = True
+                                break
+                if not refit:
+                    instance.blocked_seq = cur_seq
+                    if run_live:
+                        run_append((req.cores, req.memory_mb, req.gpus, instance.task_id))
+                    consecutive_failures += 1
+                    if consecutive_failures >= window:
+                        break
+                    continue
+            elif blocked_covers(req):
+                # The dominating demand failed at this pass's capacity or
+                # more, so this one is certified at cur_seq as well.
+                instance.blocked_seq = cur_seq
+                if run_live:
+                    run_append((req.cores, req.memory_mb, req.gpus, instance.task_id))
                 consecutive_failures += 1
-                if consecutive_failures >= self.dispatch_window:
+                if consecutive_failures >= window:
                     break
                 continue
-            nodes = self.scheduler.try_place(instance)
+            nodes = try_place(instance)
             if nodes is None:
-                if self.scheduler.last_failure_was_capacity:
-                    blocked_reqs.add(instance.requirements)
+                if scheduler.last_failure_was_capacity:
+                    blocked_add(req)
+                    instance.blocked_seq = cur_seq
+                    if run_live:
+                        run_append((req.cores, req.memory_mb, req.gpus, instance.task_id))
+                else:
+                    # Declined but not certified (policy may accept later):
+                    # it stays queued, so the certified run cannot extend
+                    # past it.
+                    run_live = False
                 consecutive_failures += 1
-                if consecutive_failures >= self.dispatch_window:
+                if consecutive_failures >= window:
                     break
                 continue
             consecutive_failures = 0
+            if seq is not None:
+                instance.blocked_seq = None
             self._start_task(instance, nodes)
+            free_cores = ledger.total_free_cores
+            # The placement may have consumed the very capacity the maxima
+            # summarize; refresh them from the (still-current) recent states
+            # so later blocked tasks are rejected by the O(1) bound again
+            # rather than falling through to per-node probes.
+            if recent:
+                g_max_cores = -1
+                g_max_mem = -1
+                g_max_gpus = -1
+                for _, g_state in recent:
+                    if g_state.free_cores > g_max_cores:
+                        g_max_cores = g_state.free_cores
+                    if g_state.free_memory_mb > g_max_mem:
+                        g_max_mem = g_state.free_memory_mb
+                    if g_state.free_gpus > g_max_gpus:
+                        g_max_gpus = g_state.free_gpus
+        # Record the certified head run for the next pass.  The epoch is
+        # read *after* this pass's own removals (placements, lost-input
+        # failures), all of which happened beyond the run, so an unchanged
+        # counter next pass means the run itself is untouched.
+        self._prefix_demands = run_list
+        if run_list:
+            self._prefix_seq = cur_seq
+        self._prefix_epoch = graph.ready_epoch
 
     def _start_task(self, instance: TaskInstance, nodes: List[str]) -> None:
         head = nodes[0]
@@ -215,27 +516,22 @@ class SimulatedExecutor:
         now = self.engine.now
         locations = self.locations
         network = self.platform.network
+        best_source = self._planner.best_source
         for datum_id in instance.reads:
-            holders = locations.holders_of(datum_id)
-            if not holders or node_name in holders:
+            # Memoized cheapest-source route: under earliest-finish-time
+            # placement this exact (datum, node) pair was just computed
+            # while estimating the winning candidate.
+            src, duration = best_source(datum_id, node_name)
+            if src is None:  # no holders (ambient) or already local
                 continue
             size = locations.size_of(datum_id)
-            # One transfer_time evaluation per holder (route lookups are
-            # cached by the topology): track the running best instead of a
-            # min() pass followed by a recomputation for the winner.
-            best_src = None
-            duration = float("inf")
-            for src in holders:
-                candidate = network.transfer_time(src, node_name, size)
-                if candidate < duration:
-                    duration = candidate
-                    best_src = src
             network.record_transfer(
-                best_src, node_name, size, start_time=now, duration=duration, datum=datum_id
+                src, node_name, size, start_time=now, duration=duration, datum=datum_id
             )
             # The fetched copy now also lives on the destination node.
             locations.publish(datum_id, node_name, size_bytes=size)
-            worst = max(worst, duration)
+            if duration > worst:
+                worst = duration
         return worst
 
     def _complete_task(self, task_id: int) -> None:
@@ -266,6 +562,7 @@ class SimulatedExecutor:
             )
         self.scheduler.release(instance)
         self.graph.mark_done(task_id, now=now)
+        self._makespan = now
         if self.graph.finished:
             # Stop the engine even if periodic controllers (elasticity
             # policies) still have ticks queued: the workflow is done.
@@ -288,11 +585,18 @@ class SimulatedExecutor:
         if not self.platform.has_node(node_name):
             return
         now = self.engine.now
-        # Collect tasks running on the failed node before mutating anything.
+        # Collect tasks running on the failed node before mutating anything:
+        # the capacity ledger already knows exactly which tasks hold an
+        # allocation there, so there is no need to scan the whole graph.
+        ledger = self.scheduler.ledger
+        if ledger.has_node(node_name):
+            victim_ids = sorted(ledger.state(node_name).running_task_ids)
+        else:
+            victim_ids = []
         victims = [
             t
-            for t in self.graph.tasks
-            if t.state is TaskState.RUNNING and node_name in t.assigned_nodes
+            for t in (self.graph.task(tid) for tid in victim_ids)
+            if t.state is TaskState.RUNNING
         ]
         self.platform.fail_node(node_name, at=now)
         self.locations.evict_node(node_name)
@@ -316,6 +620,7 @@ class SimulatedExecutor:
                         ),
                         now=now,
                     )
+                    self._makespan = now
             else:
                 self.graph.mark_failed(
                     instance.task_id,
@@ -325,15 +630,17 @@ class SimulatedExecutor:
                     ),
                     now=now,
                 )
-        # Not-yet-run tasks whose inputs were lost with the node can never
+                self._makespan = now
+        # Ready tasks whose inputs were lost with the node can never
         # execute: fail them now so the run ends with an explicit verdict
-        # instead of a drained-but-unfinished simulation.
-        for instance in list(self.graph.tasks):
-            if instance.state in (TaskState.PENDING, TaskState.READY):
+        # instead of a drained-but-unfinished simulation.  (Pending readers
+        # of lost data are cancelled when their ancestor fails, or fail
+        # here once they become ready.)  The ready queue is snapshotted
+        # because mark_failed unlinks entries; pending tasks — the bulk of
+        # a large graph — are never touched.
+        if self.locations.has_lost_data:
+            for instance in list(self.graph.iter_ready()):
                 if any(self.locations.is_lost(d) for d in instance.reads):
-                    if instance.state is TaskState.PENDING:
-                        continue  # will be cancelled when its ancestor fails,
-                        # or fail here once it becomes READY
                     self.graph.mark_failed(
                         instance.task_id,
                         RuntimeError(
@@ -342,6 +649,7 @@ class SimulatedExecutor:
                         ),
                         now=now,
                     )
+                    self._makespan = now
         if self.graph.finished:
             self.engine.stop()
         else:

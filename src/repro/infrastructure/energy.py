@@ -8,30 +8,27 @@ policies by energy (experiment E9) even though absolute joules are synthetic.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, List
 
 from repro.infrastructure.resources import Node
 
 
-@dataclass
-class _BusyInterval:
-    start: float
-    end: float
-    cores: int
-
-
 class EnergyAccountant:
-    """Tracks per-node busy intervals and integrates power over time.
+    """Tracks per-node busy core-seconds and integrates power over time.
 
     Usage: call :meth:`record_busy` for every executed task (the simulated
     executor does this), then :meth:`total_energy_joules` with the schedule
     makespan.  Idle power is charged for the whole horizon on powered-on
     nodes; busy power is charged per core-second of task execution.
+
+    Only the per-node *aggregate* core-seconds are kept — every consumer
+    (energy integration, utilization tracing) reads the sum, so storing an
+    interval object per task would cost O(tasks) memory and allocator time
+    for information nothing reads back.
     """
 
     def __init__(self) -> None:
-        self._busy: Dict[str, List[_BusyInterval]] = {}
+        self._busy_core_seconds: Dict[str, float] = {}
         self._nodes: Dict[str, Node] = {}
         # Nodes powered off (released by elasticity) stop accruing idle power.
         self._power_on: Dict[str, List[tuple]] = {}
@@ -51,14 +48,11 @@ class EnergyAccountant:
         """Record that ``cores`` cores on ``node_name`` were busy in [start, end)."""
         if end < start:
             raise ValueError(f"busy interval ends before it starts: {start} .. {end}")
-        self._busy.setdefault(node_name, []).append(
-            _BusyInterval(start=start, end=end, cores=cores)
-        )
+        busy = self._busy_core_seconds
+        busy[node_name] = busy.get(node_name, 0.0) + (end - start) * cores
 
     def busy_core_seconds(self, node_name: str) -> float:
-        return sum(
-            (iv.end - iv.start) * iv.cores for iv in self._busy.get(node_name, [])
-        )
+        return self._busy_core_seconds.get(node_name, 0.0)
 
     def node_energy_joules(self, node_name: str, horizon: float) -> float:
         """Energy consumed by one node over [0, horizon]."""

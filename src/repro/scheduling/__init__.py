@@ -9,7 +9,7 @@ energy-aware, earliest-finish-time).
 """
 
 from repro.scheduling.capacity import NodeCapacity, CapacityLedger
-from repro.scheduling.locations import DataLocationService
+from repro.scheduling.locations import DataLocationService, TransferPlanner
 from repro.scheduling.policies import (
     SchedulingPolicy,
     FifoPolicy,
@@ -18,12 +18,14 @@ from repro.scheduling.policies import (
     EnergyAwarePolicy,
     EarliestFinishTimePolicy,
 )
-from repro.scheduling.scheduler import TaskScheduler
+from repro.scheduling.scheduler import BlockedDemandFrontier, TaskScheduler
 
 __all__ = [
     "NodeCapacity",
     "CapacityLedger",
     "DataLocationService",
+    "TransferPlanner",
+    "BlockedDemandFrontier",
     "SchedulingPolicy",
     "FifoPolicy",
     "LoadBalancingPolicy",

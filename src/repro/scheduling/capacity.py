@@ -4,19 +4,30 @@ The ledger is the scheduler's source of truth for what is free *right now*.
 Its invariant — allocations never exceed a node's capacity — is one of the
 property-tested guarantees in DESIGN.md §4.
 
-Aggregates the dispatch loop consults on every event (``total_free_cores``,
-the max-free bounds behind ``candidates()``'s short-circuit) are maintained
+Everything the dispatch loop consults on every event is maintained
 incrementally: each :class:`NodeCapacity` notifies its owning ledger on
-allocate/release, so per-event cost stays O(1) instead of O(nodes).
+allocate/release, which keeps ``total_free_cores`` exact, re-files the node
+in two bucket indexes (exact free-core count, log2 free-memory), and bumps
+the version that guards the per-signature candidate cache.  One placement
+query therefore touches only the nodes that plausibly fit the demand, not
+the whole platform — the difference between O(nodes) and O(candidates) per
+task at 100+ nodes (DESIGN.md §2, claim C1).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Set
+from operator import attrgetter
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.core.constraints import ResolvedRequirements
 from repro.infrastructure.resources import Node
+
+#: Candidate-cache entries above this count are dropped wholesale: stale
+#: versions are never reused, so the clear only trades recompute for memory.
+_CANDIDATE_CACHE_LIMIT = 4096
+
+_by_order = attrgetter("order")
 
 
 class CapacityError(RuntimeError):
@@ -33,8 +44,14 @@ class NodeCapacity:
     free_gpus: int
     running_task_ids: Set[int]
     # Owning ledger (set by CapacityLedger.add_node) — notified on
-    # allocate/release so its aggregates stay consistent in O(1).
+    # allocate/release so its aggregates and indexes stay consistent in O(1).
     ledger: Optional["CapacityLedger"] = field(default=None, repr=False, compare=False)
+    # Registration sequence number within the owning ledger: candidates()
+    # restores registration order after collecting from the bucket indexes.
+    order: int = field(default=0, compare=False)
+    # Current bucket keys within the owning ledger (meaningless otherwise).
+    cores_key: int = field(default=0, repr=False, compare=False)
+    mem_key: int = field(default=0, repr=False, compare=False)
 
     @classmethod
     def for_node(cls, node: Node) -> "NodeCapacity":
@@ -80,7 +97,7 @@ class NodeCapacity:
         self.free_gpus -= req.gpus
         self.running_task_ids.add(task_id)
         if self.ledger is not None:
-            self.ledger._note_allocated(req.cores)
+            self.ledger._note_allocated(self, req)
 
     def release(self, task_id: int, req: ResolvedRequirements) -> None:
         if task_id not in self.running_task_ids:
@@ -100,50 +117,168 @@ class NodeCapacity:
                 f"release of task {task_id} overflowed capacity on {self.node.name}"
             )
         if self.ledger is not None:
-            self.ledger._note_released(self, req.cores)
+            self.ledger._note_released(self, req)
 
 
 class CapacityLedger:
-    """Capacity state for every node the scheduler can use."""
+    """Capacity state for every node the scheduler can use.
+
+    Placement queries run against two bucket indexes instead of the full
+    node map:
+
+    * ``_cores_buckets`` files each node under its exact free-core count;
+    * ``_mem_buckets`` files it under ``free_memory_mb.bit_length()`` (log2
+      buckets — memory values are too fine-grained for exact keys).
+
+    ``candidates()`` walks whichever axis currently admits fewer nodes, so a
+    memory-saturated cluster (the GUIDANCE regime: free cores everywhere,
+    no free memory anywhere) is filtered down by the memory axis and a
+    core-packed cluster by the core axis.  The top nonempty key of each
+    index doubles as the O(1) ``might_fit`` bound: exact for cores, within
+    2x for memory (log buckets never under-estimate).
+    """
 
     def __init__(self, nodes: Iterable[Node] = ()) -> None:
         self._states: Dict[str, NodeCapacity] = {}
-        # Incremental aggregates.  ``_free_cores_total`` sums free cores over
-        # every tracked node; the max-free values are *upper bounds* on any
-        # single node's free cores / memory — they only grow on release and
-        # node arrival, and are tightened to exact values when a full
-        # candidates() scan comes up empty (lazy, amortized O(1) per call).
+        # Incremental aggregate: free cores summed over every tracked node.
         self._free_cores_total = 0
-        self._max_free_cores_bound = 0
-        self._max_free_memory_bound = 0
+        # Bucket indexes (key -> {node name -> state}) and their top
+        # nonempty keys, maintained eagerly on every capacity change.
+        self._cores_buckets: Dict[int, Dict[str, NodeCapacity]] = {}
+        self._mem_buckets: Dict[int, Dict[str, NodeCapacity]] = {}
+        self._top_cores_key = 0
+        self._top_mem_key = 0
+        # Monotonic registration counter (candidates() ordering contract).
+        self._order_counter = 0
+        # Any capacity change invalidates cached candidate lists: the
+        # version is bumped by the allocate/release hooks and by node
+        # arrival/departure, and every cache entry records the version it
+        # was computed under.
+        self._version = 0
+        self._candidate_cache: Dict[
+            ResolvedRequirements, Tuple[int, List[NodeCapacity]]
+        ] = {}
+        # Capacity-growth journal.  ``grow_seq`` ticks whenever any node's
+        # free resources *grow* (a release or a node arrival — never an
+        # allocation), and ``grow_log`` maps node name -> (tick, state) in
+        # recency order (most recent last).  A dispatcher that proved "this
+        # demand fits nowhere" at tick S needs to re-test only the nodes
+        # whose entry is newer than S: every other node has only shrunk
+        # since the proof, so the conclusion still stands.
+        self.grow_seq = 0
+        self.grow_log: Dict[str, Tuple[int, NodeCapacity]] = {}
         for node in nodes:
             self.add_node(node)
 
+    # ---------------------------------------------------------- bucket index
+
+    def _bucket_insert(self, state: NodeCapacity) -> None:
+        name = state.node.name
+        cores_key = state.free_cores
+        mem_key = state.free_memory_mb.bit_length()
+        state.cores_key = cores_key
+        state.mem_key = mem_key
+        self._cores_buckets.setdefault(cores_key, {})[name] = state
+        self._mem_buckets.setdefault(mem_key, {})[name] = state
+        if cores_key > self._top_cores_key:
+            self._top_cores_key = cores_key
+        if mem_key > self._top_mem_key:
+            self._top_mem_key = mem_key
+
+    def _bucket_remove(self, state: NodeCapacity) -> None:
+        name = state.node.name
+        bucket = self._cores_buckets.get(state.cores_key)
+        if bucket is not None:
+            bucket.pop(name, None)
+        bucket = self._mem_buckets.get(state.mem_key)
+        if bucket is not None:
+            bucket.pop(name, None)
+        self._settle_tops()
+
+    def _rebucket(self, state: NodeCapacity) -> None:
+        """Re-file a node whose free resources just changed.
+
+        The top keys only need settling when this move emptied the bucket
+        currently holding a top key — checked inline so the steady state
+        pays two dict moves and nothing else.
+        """
+        name = state.node.name
+        cores_key = state.free_cores
+        old_cores_key = state.cores_key
+        if cores_key != old_cores_key:
+            old = self._cores_buckets.get(old_cores_key)
+            if old is not None:
+                old.pop(name, None)
+            # Not setdefault: that allocates a throwaway dict on every call,
+            # and nearly every rebucket lands in an existing bucket.
+            new = self._cores_buckets.get(cores_key)
+            if new is None:
+                self._cores_buckets[cores_key] = new = {}
+            new[name] = state
+            state.cores_key = cores_key
+            if cores_key > self._top_cores_key:
+                self._top_cores_key = cores_key
+            elif old_cores_key == self._top_cores_key and not old:
+                buckets = self._cores_buckets
+                top = old_cores_key
+                while top > 0 and not buckets.get(top):
+                    top -= 1
+                self._top_cores_key = top
+        mem_key = state.free_memory_mb.bit_length()
+        old_mem_key = state.mem_key
+        if mem_key != old_mem_key:
+            old = self._mem_buckets.get(old_mem_key)
+            if old is not None:
+                old.pop(name, None)
+            new = self._mem_buckets.get(mem_key)
+            if new is None:
+                self._mem_buckets[mem_key] = new = {}
+            new[name] = state
+            state.mem_key = mem_key
+            if mem_key > self._top_mem_key:
+                self._top_mem_key = mem_key
+            elif old_mem_key == self._top_mem_key and not old:
+                buckets = self._mem_buckets
+                top = old_mem_key
+                while top > 0 and not buckets.get(top):
+                    top -= 1
+                self._top_mem_key = top
+
+    def _settle_tops(self) -> None:
+        """Walk each top key down past emptied buckets (amortized O(1):
+        a key only needs re-walking after the removal that emptied it,
+        and the walk length is bounded by the size of that removal)."""
+        buckets = self._cores_buckets
+        top = self._top_cores_key
+        while top > 0 and not buckets.get(top):
+            top -= 1
+        self._top_cores_key = top
+        buckets = self._mem_buckets
+        top = self._top_mem_key
+        while top > 0 and not buckets.get(top):
+            top -= 1
+        self._top_mem_key = top
+
     # --------------------------------------------------- aggregate bookkeeping
 
-    def _note_allocated(self, cores: int) -> None:
-        self._free_cores_total -= cores
+    def _note_allocated(self, state: NodeCapacity, req: ResolvedRequirements) -> None:
+        self._free_cores_total -= req.cores
+        self._version += 1
+        self._rebucket(state)
 
-    def _note_released(self, state: NodeCapacity, cores: int) -> None:
-        self._free_cores_total += cores
-        if state.free_cores > self._max_free_cores_bound:
-            self._max_free_cores_bound = state.free_cores
-        if state.free_memory_mb > self._max_free_memory_bound:
-            self._max_free_memory_bound = state.free_memory_mb
+    def _note_released(self, state: NodeCapacity, req: ResolvedRequirements) -> None:
+        self._free_cores_total += req.cores
+        self._version += 1
+        self._journal_growth(state)
+        self._rebucket(state)
 
-    def _tighten_bounds(self) -> None:
-        """Recompute the max-free bounds exactly (after an empty scan)."""
-        max_cores = 0
-        max_memory = 0
-        for state in self._states.values():
-            if not state.node.alive:
-                continue
-            if state.free_cores > max_cores:
-                max_cores = state.free_cores
-            if state.free_memory_mb > max_memory:
-                max_memory = state.free_memory_mb
-        self._max_free_cores_bound = max_cores
-        self._max_free_memory_bound = max_memory
+    def _journal_growth(self, state: NodeCapacity) -> None:
+        self.grow_seq += 1
+        log = self.grow_log
+        name = state.node.name
+        if name in log:
+            del log[name]  # re-insert at the end: iteration order = recency
+        log[name] = (self.grow_seq, state)
 
     # ------------------------------------------------------------------ nodes
 
@@ -152,12 +287,13 @@ class CapacityLedger:
             raise CapacityError(f"node {node.name!r} already tracked")
         state = NodeCapacity.for_node(node)
         state.ledger = self
+        state.order = self._order_counter
+        self._order_counter += 1
         self._states[node.name] = state
         self._free_cores_total += state.free_cores
-        if state.free_cores > self._max_free_cores_bound:
-            self._max_free_cores_bound = state.free_cores
-        if state.free_memory_mb > self._max_free_memory_bound:
-            self._max_free_memory_bound = state.free_memory_mb
+        self._version += 1
+        self._journal_growth(state)  # a new node is pure capacity growth
+        self._bucket_insert(state)
 
     def remove_node(self, node_name: str) -> NodeCapacity:
         """Forget a node; returns its final state (running tasks included)."""
@@ -167,6 +303,12 @@ class CapacityLedger:
             raise CapacityError(f"unknown node {node_name!r}") from None
         state.ledger = None
         self._free_cores_total -= state.free_cores
+        self._version += 1
+        # A departed node cannot host anything: drop its journal entry so
+        # blocked-demand re-checks never probe it.  (Removal is a shrink,
+        # so no growth tick is owed.)
+        self.grow_log.pop(node_name, None)
+        self._bucket_remove(state)
         return state
 
     def state(self, node_name: str) -> NodeCapacity:
@@ -189,22 +331,130 @@ class CapacityLedger:
     # -------------------------------------------------------------- placement
 
     def might_fit(self, req: ResolvedRequirements) -> bool:
-        """O(1) necessary condition: a demand above the max-free bounds
-        cannot fit anywhere right now (the bounds never under-estimate)."""
+        """O(1) necessary condition: a demand above the top bucket keys
+        cannot fit anywhere right now.  The core key is the exact max free
+        cores of any tracked node; the memory key over-estimates by at most
+        2x (log buckets), so neither can reject a placeable demand."""
         return (
-            req.cores <= self._max_free_cores_bound
-            and req.memory_mb <= self._max_free_memory_bound
+            req.cores <= self._top_cores_key
+            and req.memory_mb.bit_length() <= self._top_mem_key
         )
 
     def candidates(self, req: ResolvedRequirements) -> List[NodeCapacity]:
-        """Nodes where ``req`` fits right now, in registration order."""
-        if not self.might_fit(req):
-            return []
-        found = [s for s in self._states.values() if s.fits_now(req)]
-        if not found:
-            # The bounds let an unplaceable demand through: tighten them so
-            # the next identically-blocked demand short-circuits in O(1).
-            self._tighten_bounds()
+        """Nodes where ``req`` fits right now, in registration order.
+
+        Results are cached per requirement signature and served until the
+        next capacity change (any allocate/release/join/leave bumps the
+        ledger version).  Aliveness is the one axis the version cannot see
+        — a node can die without the ledger being told — so cache hits
+        re-validate it before being trusted.  Callers must not mutate the
+        returned list.
+        """
+        if (
+            req.cores > self._top_cores_key
+            or req.memory_mb.bit_length() > self._top_mem_key
+        ):
+            return _EMPTY_CANDIDATES
+        cached = self._candidate_cache.get(req)
+        if cached is not None and cached[0] == self._version:
+            found = cached[1]
+            for state in found:
+                if not state.node.alive:
+                    break
+            else:
+                return found
+        # Walk whichever bucket axis admits fewer nodes right now.  The
+        # memory axis has at most ~log2(node memory) keys, so count it in
+        # full, then count the (much wider) cores axis only until it proves
+        # denser — both walks filter with fits_now, so the choice affects
+        # cost, never the result.
+        need_cores = req.cores
+        mem_floor = req.memory_mb.bit_length()
+        mem_plausible = 0
+        for key, bucket in self._mem_buckets.items():
+            if key >= mem_floor:
+                mem_plausible += len(bucket)
+        found: List[NodeCapacity] = []
+        if mem_plausible:
+            # The filter below is fits_now() unrolled: at up to ~platform
+            # size probes per query, the method call and the ``alive``
+            # property are a measurable share of the simulation loop.
+            # Memory is tested first because it is the binding resource in
+            # the saturated regimes this index exists for.
+            need_mem = req.memory_mb
+            need_gpus = req.gpus
+            software = req.software
+            states = self._states
+            if 2 * mem_plausible >= len(states):
+                # Dense regime (idle or draining platform): most nodes are
+                # plausible anyway, so walking the state map — already in
+                # registration order, so no sort afterwards — beats the
+                # bucket walk plus the O(n log n) order restoration.
+                for state in states.values():
+                    if (
+                        state.free_memory_mb >= need_mem
+                        and state.free_cores >= need_cores
+                        and state.free_gpus >= need_gpus
+                        and software <= (node := state.node).software
+                        and not node.failed
+                        and (
+                            node.battery_joules is None
+                            or node.battery_joules > 0
+                        )
+                    ):
+                        found.append(state)
+                cache = self._candidate_cache
+                if len(cache) >= _CANDIDATE_CACHE_LIMIT:
+                    cache.clear()
+                cache[req] = (self._version, found)
+                return found
+            cores_plausible = 0
+            cores_sparser = True
+            for key, bucket in self._cores_buckets.items():
+                if key >= need_cores:
+                    cores_plausible += len(bucket)
+                    if cores_plausible >= mem_plausible:
+                        cores_sparser = False
+                        break
+            if cores_sparser:
+                # Bucket key == exact free cores, so the cores check is
+                # implied by the key filter.
+                for key, bucket in self._cores_buckets.items():
+                    if key >= need_cores:
+                        for state in bucket.values():
+                            if (
+                                state.free_memory_mb >= need_mem
+                                and state.free_gpus >= need_gpus
+                                and software <= (node := state.node).software
+                                and not node.failed
+                                and (
+                                    node.battery_joules is None
+                                    or node.battery_joules > 0
+                                )
+                            ):
+                                found.append(state)
+            else:
+                for key, bucket in self._mem_buckets.items():
+                    if key >= mem_floor:
+                        for state in bucket.values():
+                            if (
+                                state.free_memory_mb >= need_mem
+                                and state.free_cores >= need_cores
+                                and state.free_gpus >= need_gpus
+                                and software <= (node := state.node).software
+                                and not node.failed
+                                and (
+                                    node.battery_joules is None
+                                    or node.battery_joules > 0
+                                )
+                            ):
+                                found.append(state)
+        if len(found) > 1:
+            found.sort(key=_by_order)
+        cache = self._candidate_cache
+        if len(cache) >= _CANDIDATE_CACHE_LIMIT:
+            cache.clear()
+        cache[req] = (self._version, found)
         return found
 
     def any_ever_fits(self, req: ResolvedRequirements) -> bool:
@@ -224,3 +474,8 @@ class CapacityLedger:
         never a missed placement.
         """
         return self._free_cores_total
+
+
+#: Shared empty result: the common case on a saturated platform, where a
+#: fresh list per rejected demand would be pure allocator churn.
+_EMPTY_CANDIDATES: List[NodeCapacity] = []

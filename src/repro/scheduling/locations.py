@@ -6,14 +6,32 @@ of the data by scheduling tasks in the location where the data resides"
 (§VI-A1).  Both the simulated executor (task outputs stay on the producing
 node) and the storage backends (partition replicas) publish locations here;
 the locality policy consumes them.
+
+Placement is the hot consumer, so beyond the forward datum->holders map the
+service maintains:
+
+* an inverted node->data index (evicting a failed node touches only the
+  data it held, not every datum ever registered);
+* a per-datum change counter (lets :class:`TransferPlanner` memoize
+  best-source routes without a global invalidation storm);
+* per-digest locality score maps — ``local_bytes_map`` returns, for one
+  input tuple, every node's locally-held byte total, updated incrementally
+  on ``publish``/``evict_node``/``set_size`` instead of being recomputed
+  per candidate per placement.
 """
 
 from __future__ import annotations
 
-from typing import AbstractSet, Dict, Iterable, Mapping, Set
+from collections import OrderedDict
+from typing import AbstractSet, Dict, Iterable, Mapping, Optional, Sequence, Set, Tuple
 
 #: Shared empty result for lookups of unknown data (avoids per-call allocs).
 _NO_HOLDERS: AbstractSet[str] = frozenset()
+
+#: Most digest score maps are used by exactly the tasks sharing that input
+#: tuple; the LRU bound keeps one-shot digests (per-task unique inputs)
+#: from accumulating across a million-task run.
+_DIGEST_CACHE_LIMIT = 1024
 
 
 class DataLocationService:
@@ -22,15 +40,106 @@ class DataLocationService:
     def __init__(self) -> None:
         self._locations: Dict[str, Set[str]] = {}
         self._sizes: Dict[str, float] = {}
+        # Inverted index: node name -> datum ids it currently holds.
+        self._node_data: Dict[str, Set[str]] = {}
+        # Per-datum change counter (holders or size); 0 when never changed.
+        self._versions: Dict[str, int] = {}
+        # Data whose every copy was evicted (the is_lost() predicate),
+        # counted so failure-free hot paths can skip per-task lost checks.
+        self._lost_count = 0
+        # Locality score maps keyed by input tuple (the datum-set digest):
+        # digest -> {node name -> bytes of the digest's members held there}.
+        # ``_datum_digests`` is the reverse map that routes publish/evict/
+        # set_size deltas into every affected digest.
+        self._digest_scores: "OrderedDict[Tuple[str, ...], Dict[str, float]]" = (
+            OrderedDict()
+        )
+        self._datum_digests: Dict[str, Set[Tuple[str, ...]]] = {}
+
+    # -------------------------------------------------------------- mutation
 
     def publish(self, datum_id: str, node_name: str, size_bytes: float = 0.0) -> None:
         """Record that ``node_name`` now holds a copy of ``datum_id``."""
-        self._locations.setdefault(datum_id, set()).add(node_name)
+        holders = self._locations.get(datum_id)
+        if holders is None:
+            holders = self._locations[datum_id] = set()
+        elif not holders:
+            # Every copy had been evicted; this publish recovers the datum.
+            self._lost_count -= 1
+        new_holder = node_name not in holders
+        size_delta = 0.0
         if size_bytes:
-            self._sizes[datum_id] = float(size_bytes)
+            size = float(size_bytes)
+            old_size = self._sizes.get(datum_id, 0.0)
+            if size != old_size:
+                size_delta = size - old_size
+                self._sizes[datum_id] = size
+        if not new_holder and not size_delta:
+            return
+        if new_holder:
+            holders.add(node_name)
+            data = self._node_data.get(node_name)
+            if data is None:
+                data = self._node_data[node_name] = set()
+            data.add(datum_id)
+        self._versions[datum_id] = self._versions.get(datum_id, 0) + 1
+        digests = self._datum_digests.get(datum_id)
+        if digests:
+            size = self._sizes.get(datum_id, 0.0)
+            for digest in digests:
+                scores = self._digest_scores[digest]
+                multiplicity = digest.count(datum_id)
+                if size_delta:
+                    # Existing holders' totals shift by the size change.
+                    delta = size_delta * multiplicity
+                    for holder in holders:
+                        if holder != node_name or not new_holder:
+                            scores[holder] = scores.get(holder, 0.0) + delta
+                if new_holder and size:
+                    scores[node_name] = scores.get(node_name, 0.0) + size * multiplicity
 
     def set_size(self, datum_id: str, size_bytes: float) -> None:
-        self._sizes[datum_id] = float(size_bytes)
+        size = float(size_bytes)
+        old_size = self._sizes.get(datum_id, 0.0)
+        self._sizes[datum_id] = size
+        if size == old_size:
+            return
+        self._versions[datum_id] = self._versions.get(datum_id, 0) + 1
+        digests = self._datum_digests.get(datum_id)
+        if digests:
+            holders = self._locations.get(datum_id, ())
+            for digest in digests:
+                scores = self._digest_scores[digest]
+                delta = (size - old_size) * digest.count(datum_id)
+                for holder in holders:
+                    scores[holder] = scores.get(holder, 0.0) + delta
+
+    def evict_node(self, node_name: str) -> None:
+        """Drop every copy held by a node (node failure / scale-in).
+
+        O(data held by the node) via the inverted index, not O(all data).
+        """
+        data = self._node_data.pop(node_name, None)
+        if not data:
+            return
+        for datum_id in data:
+            holders = self._locations.get(datum_id)
+            if holders is None or node_name not in holders:
+                continue
+            holders.remove(node_name)
+            if not holders:
+                self._lost_count += 1
+            self._versions[datum_id] = self._versions.get(datum_id, 0) + 1
+            digests = self._datum_digests.get(datum_id)
+            if digests:
+                size = self._sizes.get(datum_id, 0.0)
+                if size:
+                    for digest in digests:
+                        scores = self._digest_scores[digest]
+                        if node_name in scores:
+                            scores[node_name] -= size * digest.count(datum_id)
+
+    # --------------------------------------------------------------- queries
 
     def get_locations(self, datum_id: str) -> Set[str]:
         """SRI getLocations: every node holding a copy (empty set if unknown)."""
@@ -48,10 +157,11 @@ class DataLocationService:
     def size_of(self, datum_id: str, default: float = 0.0) -> float:
         return self._sizes.get(datum_id, default)
 
-    def evict_node(self, node_name: str) -> None:
-        """Drop every copy held by a node (node failure / scale-in)."""
-        for holders in self._locations.values():
-            holders.discard(node_name)
+    def datum_version(self, datum_id: str) -> int:
+        """Change counter for one datum: bumped whenever its holder set or
+        size changes.  Memo keys for anything derived from a datum's
+        locations (see :class:`TransferPlanner`)."""
+        return self._versions.get(datum_id, 0)
 
     def is_lost(self, datum_id: str) -> bool:
         """True if the datum once had holders but every copy was evicted.
@@ -62,6 +172,12 @@ class DataLocationService:
         """
         return datum_id in self._locations and not self._locations[datum_id]
 
+    @property
+    def has_lost_data(self) -> bool:
+        """O(1): any datum currently lost?  False on every failure-free run,
+        which lets dispatch skip the per-task lost-input scan entirely."""
+        return self._lost_count > 0
+
     def local_bytes(self, node_name: str, datum_ids: Iterable[str]) -> float:
         """Bytes of the given data already present on ``node_name``."""
         total = 0.0
@@ -69,6 +185,46 @@ class DataLocationService:
             if node_name in self._locations.get(datum_id, ()):
                 total += self._sizes.get(datum_id, 0.0)
         return total
+
+    def local_bytes_map(self, datum_ids: Sequence[str]) -> Mapping[str, float]:
+        """Per-node locally-held bytes for one input tuple, as a mapping.
+
+        The map is built once per distinct digest and then updated
+        incrementally by ``publish``/``evict_node``/``set_size``, so a
+        policy ranking k candidates pays O(k) lookups instead of
+        O(k x inputs) set-membership probes per placement.  Nodes holding
+        none of the data are absent (callers use ``.get(name, 0.0)``); an
+        entry may reach 0.0 after evictions, which ranks identically.
+        Callers must not mutate the result.
+        """
+        digest = tuple(datum_ids)
+        scores = self._digest_scores.get(digest)
+        if scores is not None:
+            self._digest_scores.move_to_end(digest)
+            return scores
+        scores = {}
+        for datum_id in digest:
+            # Register the reverse link even for unknown/zero-size data:
+            # a later publish must find and update this digest.
+            links = self._datum_digests.get(datum_id)
+            if links is None:
+                links = self._datum_digests[datum_id] = set()
+            links.add(digest)
+            size = self._sizes.get(datum_id, 0.0)
+            if not size:
+                continue
+            for holder in self._locations.get(datum_id, ()):
+                scores[holder] = scores.get(holder, 0.0) + size
+        if len(self._digest_scores) >= _DIGEST_CACHE_LIMIT:
+            evicted_digest, _ = self._digest_scores.popitem(last=False)
+            for datum_id in evicted_digest:
+                links = self._datum_digests.get(datum_id)
+                if links is not None:
+                    links.discard(evicted_digest)
+                    if not links:
+                        del self._datum_digests[datum_id]
+        self._digest_scores[digest] = scores
+        return scores
 
     def missing_bytes(self, node_name: str, datum_ids: Iterable[str]) -> float:
         """Bytes that would have to be transferred to run on ``node_name``."""
@@ -81,3 +237,58 @@ class DataLocationService:
     def snapshot(self) -> Mapping[str, Set[str]]:
         """A copy of the full location map (diagnostics/tests)."""
         return {k: set(v) for k, v in self._locations.items()}
+
+
+class TransferPlanner:
+    """Memoized cheapest-source selection for (datum, destination) pairs.
+
+    Both the earliest-finish-time policy (while *estimating* placements)
+    and the simulated executor (while *staging in* the chosen placement)
+    ask the same question — which current holder of this datum reaches
+    this node fastest? — often back-to-back for the same pair.  Entries
+    are validated against the datum's change counter and the topology
+    version, so a publish/evict/re-zoning transparently invalidates only
+    the affected routes.
+    """
+
+    #: Entries above this count are dropped wholesale; stale pairs (the
+    #: destination became a holder, or the datum moved on) are never
+    #: revisited, so the clear only trades recompute for memory.
+    CACHE_LIMIT = 131072
+
+    def __init__(self, locations: DataLocationService, network) -> None:
+        self.locations = locations
+        self.network = network
+        self._cache: Dict[Tuple[str, str], Tuple[int, int, str, float]] = {}
+
+    def best_source(self, datum_id: str, dst_node: str) -> Tuple[Optional[str], float]:
+        """(source node, seconds) of the cheapest current holder.
+
+        Returns ``(None, 0.0)`` when the datum has no holders (ambient
+        data) or the destination already holds a copy (no transfer).
+        """
+        locations = self.locations
+        holders = locations.holders_of(datum_id)
+        if not holders or dst_node in holders:
+            return (None, 0.0)
+        network = self.network
+        datum_version = locations.datum_version(datum_id)
+        topology_version = network.topology_version
+        key = (datum_id, dst_node)
+        hit = self._cache.get(key)
+        if hit is not None and hit[0] == datum_version and hit[1] == topology_version:
+            return (hit[2], hit[3])
+        size = locations.size_of(datum_id)
+        best_src = None
+        best = float("inf")
+        transfer_time = network.transfer_time
+        for src in holders:
+            duration = transfer_time(src, dst_node, size)
+            if duration < best:
+                best = duration
+                best_src = src
+        cache = self._cache
+        if len(cache) >= self.CACHE_LIMIT:
+            cache.clear()
+        cache[key] = (datum_version, topology_version, best_src, best)
+        return (best_src, best)

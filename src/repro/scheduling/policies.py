@@ -14,7 +14,7 @@ from typing import List, Optional, Protocol
 from repro.core.graph import TaskInstance
 from repro.infrastructure.network import NetworkTopology
 from repro.scheduling.capacity import NodeCapacity
-from repro.scheduling.locations import DataLocationService
+from repro.scheduling.locations import DataLocationService, TransferPlanner
 
 
 class SchedulingPolicy(Protocol):
@@ -55,7 +55,24 @@ class LoadBalancingPolicy:
     ) -> Optional[NodeCapacity]:
         if not candidates:
             return None
-        return max(candidates, key=lambda s: (s.free_cores, -s.busy_cores))
+        # Single pass replacing max(key=(free_cores, -busy_cores)): ties on
+        # free cores go to the smaller node (same thing as fewer busy
+        # cores), and the earliest candidate wins full ties, exactly like
+        # max().  The candidate list is most of the platform on an idle
+        # cluster, so the per-candidate tuple the lambda built was hot.
+        it = iter(candidates)
+        best = next(it)
+        best_free = best.free_cores
+        best_total = best.node.cores
+        for state in it:
+            free = state.free_cores
+            if free > best_free:
+                best, best_free, best_total = state, free, state.node.cores
+            elif free == best_free:
+                total = state.node.cores
+                if total < best_total:
+                    best, best_free, best_total = state, free, total
+        return best
 
 
 class LocalityPolicy:
@@ -76,13 +93,16 @@ class LocalityPolicy:
     ) -> Optional[NodeCapacity]:
         if not candidates:
             return None
-        input_ids = list(task.reads)
+        input_ids = task.reads
         if not input_ids:
             return max(candidates, key=lambda s: s.free_cores)
+        # One O(1) lookup per candidate against the digest's incrementally
+        # maintained score map, instead of |inputs| set-membership probes
+        # per candidate per call.
+        local_bytes = self.locations.local_bytes_map(input_ids).get
 
         def score(state: NodeCapacity) -> tuple:
-            local = self.locations.local_bytes(state.node.name, input_ids)
-            return (local, state.free_cores)
+            return (local_bytes(state.node.name, 0.0), state.free_cores)
 
         return max(candidates, key=score)
 
@@ -140,22 +160,21 @@ class EarliestFinishTimePolicy:
         # keeps all-slow platforms work-conserving (no starvation).
         self.decline_slowdown_factor = decline_slowdown_factor
         self._best_speed_seen = 0.0
+        # Best-source transfer times memoized per (datum, destination); the
+        # simulated executor shares this planner when it runs over the same
+        # locations/network, so the stage-in of a chosen placement reuses
+        # the routes the estimate just computed.
+        self.planner = TransferPlanner(locations, network)
 
     def _estimated_finish(self, task: TaskInstance, state: NodeCapacity) -> float:
         profile = task.profile
         node = state.node
         compute = (profile.duration_s if profile else 1.0) / node.speed_factor
         transfer = 0.0
-        input_ids = task.reads
-        for datum_id in input_ids:
-            holders = self.locations.holders_of(datum_id)
-            if not holders or node.name in holders:
-                continue
-            size = self.locations.size_of(datum_id)
-            # Cheapest source among current holders.
-            transfer += min(
-                self.network.transfer_time(src, node.name, size) for src in holders
-            )
+        best_source = self.planner.best_source
+        node_name = node.name
+        for datum_id in task.reads:
+            transfer += best_source(datum_id, node_name)[1]
         return transfer + compute
 
     def select(
@@ -163,15 +182,28 @@ class EarliestFinishTimePolicy:
     ) -> Optional[NodeCapacity]:
         if not candidates:
             return None
-        self._best_speed_seen = max(
-            self._best_speed_seen, max(s.node.speed_factor for s in candidates)
-        )
-        best = min(
-            candidates, key=lambda s: (self._estimated_finish(task, s), -s.free_cores)
-        )
-        if self.decline_slowdown_factor is not None and self._best_speed_seen > 0:
+        best_speed = self._best_speed_seen
+        for state in candidates:
+            speed = state.node.speed_factor
+            if speed > best_speed:
+                best_speed = speed
+        self._best_speed_seen = best_speed
+        # Single pass: each candidate's finish time is estimated exactly
+        # once per call, and the winner's estimate is reused for the
+        # decline check below instead of being recomputed.
+        best = None
+        best_key = None
+        best_finish = 0.0
+        for state in candidates:
+            finish = self._estimated_finish(task, state)
+            key = (finish, -state.free_cores)
+            if best is None or key < best_key:
+                best = state
+                best_key = key
+                best_finish = finish
+        if self.decline_slowdown_factor is not None and best_speed > 0:
             base = (task.profile.duration_s if task.profile else 1.0)
-            reference = base / self._best_speed_seen
-            if self._estimated_finish(task, best) > self.decline_slowdown_factor * reference:
+            reference = base / best_speed
+            if best_finish > self.decline_slowdown_factor * reference:
                 return None  # waiting for a faster node beats occupying this one
         return best

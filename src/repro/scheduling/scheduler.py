@@ -20,6 +20,51 @@ from repro.scheduling.capacity import CapacityLedger, NodeCapacity
 from repro.scheduling.policies import FifoPolicy, SchedulingPolicy
 
 
+class BlockedDemandFrontier:
+    """Demands that failed for lack of capacity within one dispatch pass.
+
+    Capacity only shrinks while a pass allocates (completions are separate
+    events), and ``fits_now`` is monotone in the demand, so once a demand
+    has found no capacity, any demand that needs component-wise at least as
+    much (``demands_no_more_than``) must fail too — skipping it is exact.
+    The frontier keeps only the minimal failed demands (an antichain): on a
+    homogeneous-cores workload varying in memory, that collapses to a
+    single entry, making the skip test one comparison instead of a ledger
+    walk per blocked task.
+
+    Shared by the simulated executor's ``_dispatch`` and the thread-pool
+    executor's ``kick_locked``; build a fresh frontier per pass.
+    """
+
+    __slots__ = ("_exact", "_minimal")
+
+    def __init__(self) -> None:
+        self._exact: set = set()
+        self._minimal: List[ResolvedRequirements] = []
+
+    def covers(self, req: ResolvedRequirements) -> bool:
+        """True if ``req`` is known-unplaceable for the rest of the pass."""
+        if req in self._exact:
+            return True
+        for failed in self._minimal:
+            if failed.demands_no_more_than(req):
+                return True
+        return False
+
+    def add(self, req: ResolvedRequirements) -> None:
+        """Record a demand the ledger just failed for lack of capacity."""
+        if req in self._exact:
+            return
+        self._exact.add(req)
+        # Keep the antichain minimal: drop entries the new demand subsumes.
+        self._minimal = [
+            failed
+            for failed in self._minimal
+            if not req.demands_no_more_than(failed)
+        ]
+        self._minimal.append(req)
+
+
 class TaskScheduler:
     """Places task instances onto platform nodes under a pluggable policy."""
 

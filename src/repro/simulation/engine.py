@@ -101,11 +101,18 @@ class SimulationEngine:
         Returns the final virtual time.
         """
         self._stopped = False
+        if until is None:
+            # Hot path: no horizon to honor, so step() alone decides when to
+            # stop — the per-event peek would duplicate its cancelled-event
+            # filtering for no benefit.
+            while not self._stopped and self.step():
+                pass
+            return self.clock.now
         while not self._stopped:
             next_time = self.queue.peek_time()
             if next_time is None:
                 break
-            if until is not None and next_time > until:
+            if next_time > until:
                 self.clock.advance_to(until)
                 break
             self.step()

@@ -4,6 +4,12 @@ Events are ordered by ``(time, priority, sequence)``.  The sequence number
 makes ordering total and deterministic: two events scheduled for the same
 instant with the same priority are dispatched in scheduling order, which is
 what makes simulated schedules reproducible run-to-run.
+
+The heap holds ``(time, priority, sequence, event)`` tuples rather than the
+events themselves: every sift comparison then resolves on the first three
+fields in C, instead of re-entering a Python ``__lt__`` — at millions of
+heap operations per run the comparator is a measurable share of the whole
+simulation loop.
 """
 
 from __future__ import annotations
@@ -44,15 +50,15 @@ class EventQueue:
     """A deterministic priority queue of :class:`Event` objects."""
 
     def __init__(self) -> None:
-        self._heap: list[Event] = []
+        self._heap: list = []
         self._counter = itertools.count()
 
     def __len__(self) -> int:
         """Number of live (non-cancelled) events; O(n), diagnostics only."""
-        return sum(1 for event in self._heap if not event.cancelled)
+        return sum(1 for entry in self._heap if not entry[3].cancelled)
 
     def __bool__(self) -> bool:
-        return any(not event.cancelled for event in self._heap)
+        return any(not entry[3].cancelled for entry in self._heap)
 
     def push(
         self,
@@ -65,28 +71,31 @@ class EventQueue:
 
         The returned handle can be cancelled with :meth:`Event.cancel`.
         """
+        sequence = next(self._counter)
         event = Event(
             time=time,
             priority=priority,
-            sequence=next(self._counter),
+            sequence=sequence,
             action=action,
             label=label,
         )
-        heapq.heappush(self._heap, event)
+        heapq.heappush(self._heap, (time, priority, sequence, event))
         return event
 
     def pop(self) -> Optional[Event]:
         """Remove and return the earliest non-cancelled event, or None."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            event = heapq.heappop(heap)[3]
             if not event.cancelled:
                 return event
         return None
 
     def peek_time(self) -> Optional[float]:
         """Return the timestamp of the next live event without removing it."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        if self._heap:
-            return self._heap[0].time
+        heap = self._heap
+        while heap and heap[0][3].cancelled:
+            heapq.heappop(heap)
+        if heap:
+            return heap[0][0]
         return None

@@ -10,6 +10,7 @@ workload generator produces.
 from __future__ import annotations
 
 import random
+import zlib
 from typing import Sequence, TypeVar
 
 T = TypeVar("T")
@@ -27,9 +28,13 @@ class DeterministicRandom:
         """Derive an independent child stream keyed by ``name``.
 
         The child's seed depends only on the parent seed and the name, never
-        on how many draws the parent has made.
+        on how many draws the parent has made.  The derivation must be
+        stable across interpreter processes — the built-in ``hash`` is
+        salted per process for strings, which would make "the same seed"
+        produce different workloads run to run — so it uses CRC32 over a
+        canonical key instead.
         """
-        child_seed = hash((self.seed, name)) & 0x7FFFFFFF
+        child_seed = zlib.crc32(f"{self.seed}:{name}".encode("utf-8")) & 0x7FFFFFFF
         return DeterministicRandom(seed=child_seed, name=f"{self.name}/{name}")
 
     def uniform(self, low: float, high: float) -> float:

@@ -1,0 +1,567 @@
+"""Equivalence tests: indexed placement fast paths vs naive full scans.
+
+The placement hot path (DESIGN.md §2, claim C1) is a stack of pure *cost*
+optimizations — bucket-indexed ``candidates()`` with a version-guarded
+cache, single-pass policy maximizations, blocked-demand certifications and
+the blocked-prefix snapshot in ``SimulatedExecutor._dispatch``.  Every
+layer claims identical *decisions* to the definitional full scan, just
+fewer probes.  This suite pins that claim three ways:
+
+* hypothesis programs drive a :class:`CapacityLedger` through random
+  allocate/release/join/leave/fail sequences and compare ``candidates()``
+  against the brute-force registration-order filter after every step;
+* each policy's single-pass selection is compared against the naive
+  ``max(key=...)`` / per-candidate recomputation it replaced;
+* a ``NaiveDispatchExecutor`` (full-probe ``_dispatch``: no frontier, no
+  certifications, no prefix snapshot) must produce byte-identical
+  makespans and per-task assignments on blocking GUIDANCE workloads —
+  including under an injected node failure.
+
+All data sizes in the strategies are integer-valued so float accumulation
+order can never manufacture a spurious argmax difference.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.constraints import ResolvedRequirements
+from repro.core.graph import SimProfile, TaskGraph, TaskInstance, TaskState
+from repro.executor.simulated import SimulatedExecutor
+from repro.infrastructure import Node, make_hpc_cluster
+from repro.infrastructure.network import NetworkTopology
+from repro.infrastructure.resources import GpuSpec
+from repro.scheduling.capacity import CapacityLedger
+from repro.scheduling.locations import DataLocationService
+from repro.scheduling.policies import (
+    EarliestFinishTimePolicy,
+    LoadBalancingPolicy,
+    LocalityPolicy,
+)
+from repro.scheduling.scheduler import BlockedDemandFrontier
+from repro.workloads import GuidanceConfig, build_guidance_workflow
+
+
+# --------------------------------------------------------------------------
+# Naive references
+# --------------------------------------------------------------------------
+
+
+def naive_candidates(ledger, req):
+    """The definitional answer: full scan, registration order, fits_now."""
+    return [s.node.name for s in ledger.states if s.fits_now(req)]
+
+
+def naive_load_balancing(candidates):
+    return max(candidates, key=lambda s: (s.free_cores, -s.busy_cores))
+
+
+def naive_locality(task, candidates, locations):
+    if not task.reads:
+        return max(candidates, key=lambda s: s.free_cores)
+
+    def score(state):
+        local = 0.0
+        for datum_id in task.reads:
+            if state.node.name in locations.get_locations(datum_id):
+                local += locations.size_of(datum_id)
+        return (local, state.free_cores)
+
+    return max(candidates, key=score)
+
+
+def naive_eft_finish(task, state, locations, network):
+    profile = task.profile
+    compute = (profile.duration_s if profile else 1.0) / state.node.speed_factor
+    transfer = 0.0
+    for datum_id in task.reads:
+        holders = locations.holders_of(datum_id)
+        if not holders or state.node.name in holders:
+            continue
+        size = locations.size_of(datum_id)
+        transfer += min(
+            network.transfer_time(src, state.node.name, size) for src in holders
+        )
+    return transfer + compute
+
+
+def naive_eft_select(task, candidates, locations, network):
+    best = None
+    best_key = None
+    for state in candidates:
+        finish = naive_eft_finish(task, state, locations, network)
+        key = (finish, -state.free_cores)
+        if best is None or key < best_key:
+            best, best_key = state, key
+    return best
+
+
+# --------------------------------------------------------------------------
+# Hypothesis strategies
+# --------------------------------------------------------------------------
+
+_SOFTWARE_SETS = [
+    frozenset(),
+    frozenset({"mpi"}),
+    frozenset({"mpi", "python"}),
+]
+
+node_specs = st.tuples(
+    st.integers(min_value=1, max_value=16),  # cores
+    st.integers(min_value=1, max_value=70_000),  # memory_mb
+    st.integers(min_value=0, max_value=2),  # gpus
+    st.sampled_from(_SOFTWARE_SETS),
+)
+
+req_specs = st.tuples(
+    st.integers(min_value=1, max_value=12),  # cores
+    st.integers(min_value=0, max_value=60_000),  # memory_mb
+    st.integers(min_value=0, max_value=2),  # gpus
+    st.sampled_from([frozenset(), frozenset({"mpi"})]),
+)
+
+ledger_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("alloc"), st.integers(0, 63), req_specs),
+        st.tuples(st.just("release"), st.integers(0, 63)),
+        st.tuples(st.just("add"), node_specs),
+        st.tuples(st.just("remove"), st.integers(0, 63)),
+        st.tuples(st.just("fail"), st.integers(0, 63)),
+        st.tuples(st.just("query"), req_specs),
+    ),
+    max_size=50,
+)
+
+
+def _make_node(name, spec):
+    cores, memory_mb, gpus, software = spec
+    return Node(
+        name=name,
+        cores=cores,
+        memory_mb=memory_mb,
+        gpus=tuple(GpuSpec() for _ in range(gpus)),
+        software=software,
+    )
+
+
+def _make_req(spec):
+    cores, memory_mb, gpus, software = spec
+    return ResolvedRequirements(
+        cores=cores, memory_mb=memory_mb, gpus=gpus, software=software
+    )
+
+
+class TestLedgerCandidateEquivalence:
+    """Indexed candidates() == brute-force scan, under arbitrary programs."""
+
+    @settings(
+        max_examples=80,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        initial=st.lists(node_specs, min_size=1, max_size=6),
+        ops=ledger_ops,
+        probe=req_specs,
+    )
+    def test_candidates_match_naive_full_scan(self, initial, ops, probe):
+        ledger = CapacityLedger(
+            _make_node(f"n{i}", spec) for i, spec in enumerate(initial)
+        )
+        next_name = len(initial)
+        next_task = 0
+        running = []  # (task_id, node_name, req)
+        probe_req = _make_req(probe)
+
+        def check(req):
+            expected = naive_candidates(ledger, req)
+            got = [s.node.name for s in ledger.candidates(req)]
+            assert got == expected
+            # might_fit is a *necessary* condition: it may admit an
+            # unplaceable demand but must never reject a placeable one.
+            if expected:
+                assert ledger.might_fit(req)
+            # A repeat query (cache hit) must not change the answer.
+            again = [s.node.name for s in ledger.candidates(req)]
+            assert again == expected
+
+        check(probe_req)
+        for op in ops:
+            kind = op[0]
+            if kind == "alloc":
+                names = ledger.node_names
+                if not names:
+                    continue
+                state = ledger.state(names[op[1] % len(names)])
+                req = _make_req(op[2])
+                if state.fits_now(req):
+                    state.allocate(next_task, req)
+                    running.append((next_task, state.node.name, req))
+                    next_task += 1
+            elif kind == "release":
+                if not running:
+                    continue
+                task_id, node_name, req = running.pop(op[1] % len(running))
+                if ledger.has_node(node_name):
+                    ledger.state(node_name).release(task_id, req)
+            elif kind == "add":
+                ledger.add_node(_make_node(f"n{next_name}", op[1]))
+                next_name += 1
+            elif kind == "remove":
+                names = ledger.node_names
+                if len(names) <= 1:
+                    continue
+                gone = names[op[1] % len(names)]
+                ledger.remove_node(gone)
+                running = [r for r in running if r[1] != gone]
+            elif kind == "fail":
+                names = ledger.node_names
+                if not names:
+                    continue
+                ledger.state(names[op[1] % len(names)]).node.fail()
+            else:  # query
+                check(_make_req(op[1]))
+            check(probe_req)
+
+
+class TestPolicySelectionEquivalence:
+    """Single-pass / cached policy selections == naive maximizations."""
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        specs=st.lists(node_specs, min_size=1, max_size=8),
+        busy=st.lists(st.integers(min_value=0, max_value=16), max_size=8),
+        req=req_specs,
+    )
+    def test_load_balancing_matches_naive_max(self, specs, busy, req):
+        ledger = CapacityLedger(
+            _make_node(f"n{i}", spec) for i, spec in enumerate(specs)
+        )
+        for i, b in enumerate(busy[: len(specs)]):
+            state = ledger.state(f"n{i}")
+            take = min(b, state.free_cores)
+            if take:
+                state.allocate(1000 + i, ResolvedRequirements(cores=take))
+        candidates = ledger.candidates(_make_req(req))
+        task = TaskInstance(task_id=1, label="t")
+        selected = LoadBalancingPolicy().select(task, list(candidates))
+        if not candidates:
+            assert selected is None
+        else:
+            assert selected is naive_load_balancing(candidates)
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        publishes=st.lists(
+            st.tuples(
+                st.integers(0, 5),  # datum index
+                st.integers(0, 4),  # node index
+                st.integers(min_value=0, max_value=1_000_000),  # size
+            ),
+            max_size=20,
+        ),
+        reads=st.lists(st.integers(0, 5), max_size=6),
+        busy=st.lists(st.integers(min_value=0, max_value=8), max_size=5),
+    )
+    def test_locality_matches_naive_membership_sums(self, publishes, reads, busy):
+        nodes = [Node(name=f"n{i}", cores=8, memory_mb=16_000) for i in range(5)]
+        ledger = CapacityLedger(nodes)
+        locations = DataLocationService()
+        for datum, node, size in publishes:
+            locations.publish(f"d{datum}", f"n{node}", size_bytes=float(size))
+        for i, b in enumerate(busy[:5]):
+            if b:
+                ledger.state(f"n{i}").allocate(2000 + i, ResolvedRequirements(cores=b))
+        task = TaskInstance(task_id=1, label="t", reads=[f"d{i}" for i in reads])
+        candidates = ledger.candidates(ResolvedRequirements(cores=1))
+        policy = LocalityPolicy(locations)
+        selected = policy.select(task, list(candidates))
+        assert selected is naive_locality(task, candidates, locations)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        publishes=st.lists(
+            st.tuples(st.integers(0, 5), st.integers(0, 3), st.integers(0, 1_000_000)),
+            max_size=16,
+        ),
+        reads=st.lists(st.integers(0, 5), max_size=6),
+        speeds=st.lists(
+            st.sampled_from([0.5, 1.0, 1.5, 2.0]), min_size=4, max_size=4
+        ),
+        duration=st.integers(min_value=1, max_value=500),
+    )
+    def test_eft_matches_naive_per_candidate_estimates(
+        self, publishes, reads, speeds, duration
+    ):
+        network = NetworkTopology()
+        nodes = [
+            Node(name=f"n{i}", cores=8, memory_mb=16_000, speed_factor=speeds[i])
+            for i in range(4)
+        ]
+        ledger = CapacityLedger(nodes)
+        locations = DataLocationService()
+        for datum, node, size in publishes:
+            locations.publish(f"d{datum}", f"n{node}", size_bytes=float(size))
+        task = TaskInstance(
+            task_id=1,
+            label="t",
+            reads=[f"d{i}" for i in reads],
+            profile=SimProfile(duration_s=float(duration)),
+        )
+        candidates = ledger.candidates(ResolvedRequirements(cores=1))
+        policy = EarliestFinishTimePolicy(locations, network)
+        selected = policy.select(task, list(candidates))
+        assert selected is naive_eft_select(task, candidates, locations, network)
+        # The planner memo must stay coherent across a publish: new copies
+        # change best sources, and a stale route would skew the estimate.
+        if reads:
+            locations.publish(f"d{reads[0]}", "n3", size_bytes=123.0)
+            selected = policy.select(task, list(candidates))
+            assert selected is naive_eft_select(task, candidates, locations, network)
+
+
+# --------------------------------------------------------------------------
+# End-to-end dispatch equivalence
+# --------------------------------------------------------------------------
+
+
+class NaiveDispatchExecutor(SimulatedExecutor):
+    """Reference dispatcher: probe every ready task, remember nothing.
+
+    No blocked-demand frontier, no cross-pass certifications, no prefix
+    snapshot — just the window and the free-core guards, which are part of
+    the dispatch *semantics* rather than the bookkeeping.  The optimized
+    ``_dispatch`` claims to place exactly the same tasks on exactly the
+    same nodes at exactly the same times as this loop.
+    """
+
+    def _dispatch(self):  # noqa: C901 - mirrors the semantics, not the style
+        self._dispatch_scheduled = False
+        graph = self.graph
+        scheduler = self.scheduler
+        ledger = scheduler.ledger
+        locations = self.locations
+        window = self.dispatch_window
+        consecutive_failures = 0
+        if ledger.total_free_cores <= 0:
+            return
+        for instance in graph.iter_ready():
+            if ledger.total_free_cores <= 0:
+                break
+            if locations.has_lost_data:
+                lost = [d for d in instance.reads if locations.is_lost(d)]
+                if lost:
+                    graph.mark_failed(
+                        instance.task_id,
+                        RuntimeError(f"inputs {lost[:3]} lost and not persisted"),
+                        now=self.engine.now,
+                    )
+                    self._makespan = self.engine.now
+                    if graph.finished:
+                        self.engine.stop()
+                    continue
+            nodes = scheduler.try_place(instance)
+            if nodes is None:
+                consecutive_failures += 1
+                if consecutive_failures >= window:
+                    break
+                continue
+            consecutive_failures = 0
+            self._start_task(instance, nodes)
+
+
+def _run_guidance(executor_cls, config, num_nodes, fail_at=None, **kwargs):
+    workload = build_guidance_workflow(config)
+    platform = make_hpc_cluster(num_nodes)
+    executor = executor_cls(
+        workload.graph,
+        platform,
+        policy=LoadBalancingPolicy(),
+        initial_data=workload.initial_data,
+        **kwargs,
+    )
+    if fail_at is not None:
+        executor.fail_node_at(*fail_at)
+    report = executor.run()
+    assignments = {
+        t.task_id: (tuple(t.assigned_nodes or ()), t.start_time, t.end_time)
+        for t in workload.graph.tasks
+    }
+    return report, assignments
+
+
+class TestDispatchEquivalence:
+    """Optimized _dispatch == naive full-probe dispatch, end to end."""
+
+    def _compare(self, config, num_nodes, fail_at=None):
+        fast_report, fast_assign = _run_guidance(
+            SimulatedExecutor, config, num_nodes, fail_at=fail_at
+        )
+        naive_report, naive_assign = _run_guidance(
+            NaiveDispatchExecutor, config, num_nodes, fail_at=fail_at
+        )
+        assert fast_report.makespan == naive_report.makespan
+        assert fast_report.tasks_done == naive_report.tasks_done
+        assert fast_report.tasks_failed == naive_report.tasks_failed
+        assert fast_report.resubmissions == naive_report.resubmissions
+        assert fast_assign == naive_assign
+
+    def test_memory_saturated_regime(self):
+        # The GUIDANCE regime the fast paths were built for: imputation
+        # memory saturates the nodes while cores stay free, so the ready
+        # queue grows a long certified-blocked head run.
+        self._compare(GuidanceConfig(chromosomes=3, chunks_per_chromosome=8), 3)
+
+    def test_core_saturated_regime(self):
+        self._compare(
+            GuidanceConfig(chromosomes=2, chunks_per_chromosome=6, seed=7), 1
+        )
+
+    def test_equivalent_under_node_failure(self):
+        # A mid-run failure exercises _fail_node's ledger-driven victim
+        # collection plus requeue interaction with the certifications and
+        # the prefix snapshot (requeued tasks re-enter at the tail).
+        self._compare(
+            GuidanceConfig(chromosomes=2, chunks_per_chromosome=6),
+            3,
+            fail_at=(150.0, "marenostrum-sim-node-0001"),
+        )
+
+
+# --------------------------------------------------------------------------
+# Targeted unit tests for the supporting structures
+# --------------------------------------------------------------------------
+
+
+class TestCandidateCache:
+    def test_cache_hit_returns_same_list_until_version_bump(self):
+        ledger = CapacityLedger([Node(name="a", cores=4, memory_mb=8000)])
+        req = ResolvedRequirements(cores=1)
+        first = ledger.candidates(req)
+        assert ledger.candidates(req) is first  # version unchanged: cache hit
+        ledger.state("a").allocate(1, ResolvedRequirements(cores=1))
+        second = ledger.candidates(req)
+        assert second is not first  # allocate bumped the version
+        assert [s.node.name for s in second] == ["a"]
+
+    def test_cache_revalidates_aliveness(self):
+        # A node can die without the ledger hearing about it; the version
+        # cannot see that, so hits must re-check before being served.
+        nodes = [Node(name=f"n{i}", cores=4, memory_mb=8000) for i in range(3)]
+        ledger = CapacityLedger(nodes)
+        req = ResolvedRequirements(cores=1)
+        assert len(ledger.candidates(req)) == 3
+        nodes[1].fail()
+        assert [s.node.name for s in ledger.candidates(req)] == ["n0", "n2"]
+
+
+class TestGrowthJournal:
+    def test_release_moves_node_to_journal_tail(self):
+        ledger = CapacityLedger(
+            [Node(name="a", cores=4, memory_mb=8000), Node(name="b", cores=4, memory_mb=8000)]
+        )
+        req = ResolvedRequirements(cores=1)
+        ledger.state("a").allocate(1, req)
+        ledger.state("b").allocate(2, req)
+        ledger.state("a").release(1, req)
+        ledger.state("b").release(2, req)
+        assert list(ledger.grow_log) == ["a", "b"]
+        ledger.state("a").allocate(3, req)
+        ledger.state("a").release(3, req)  # "a" grew again: recency order flips
+        assert list(ledger.grow_log) == ["b", "a"]
+        seqs = [tick for tick, _ in ledger.grow_log.values()]
+        assert seqs == sorted(seqs)  # iteration order == tick order
+
+    def test_allocation_never_ticks_growth(self):
+        ledger = CapacityLedger([Node(name="a", cores=4, memory_mb=8000)])
+        before = ledger.grow_seq
+        ledger.state("a").allocate(1, ResolvedRequirements(cores=1))
+        assert ledger.grow_seq == before
+
+    def test_removed_node_leaves_journal(self):
+        ledger = CapacityLedger(
+            [Node(name="a", cores=4, memory_mb=8000), Node(name="b", cores=4, memory_mb=8000)]
+        )
+        ledger.remove_node("a")
+        assert "a" not in ledger.grow_log
+        assert "b" in ledger.grow_log
+
+
+class TestBlockedDemandFrontier:
+    def test_covers_dominating_demands_only(self):
+        frontier = BlockedDemandFrontier()
+        failed = ResolvedRequirements(cores=2, memory_mb=1000)
+        frontier.add(failed)
+        assert frontier.covers(failed)
+        assert frontier.covers(ResolvedRequirements(cores=4, memory_mb=2000))
+        assert not frontier.covers(ResolvedRequirements(cores=1, memory_mb=1000))
+        assert not frontier.covers(ResolvedRequirements(cores=2, memory_mb=500))
+
+    def test_antichain_stays_minimal(self):
+        frontier = BlockedDemandFrontier()
+        frontier.add(ResolvedRequirements(cores=4, memory_mb=4000))
+        frontier.add(ResolvedRequirements(cores=2, memory_mb=1000))  # subsumes it
+        assert frontier.covers(ResolvedRequirements(cores=3, memory_mb=2000))
+        assert len(frontier._minimal) == 1
+
+
+class TestReadyQueueEpoch:
+    def _graph(self, n=4):
+        graph = TaskGraph()
+        for i in range(1, n + 1):
+            graph.add_task(TaskInstance(task_id=i, label=f"t{i}"))
+        return graph
+
+    def test_appends_keep_epoch_removals_bump_it(self):
+        graph = self._graph(2)
+        epoch = graph.ready_epoch
+        graph.add_task(TaskInstance(task_id=99, label="t99"))
+        assert graph.ready_epoch == epoch  # tail insertions preserve prefixes
+        graph.mark_running(1, "node-x")
+        assert graph.ready_epoch == epoch + 1
+
+    def test_iter_ready_resumes_after_anchor(self):
+        graph = self._graph(4)
+        assert [t.task_id for t in graph.iter_ready(start_after=2)] == [3, 4]
+
+    def test_iter_ready_missing_anchor_falls_back_to_head(self):
+        graph = self._graph(3)
+        graph.mark_running(2, "node-x")  # anchor leaves the queue
+        assert [t.task_id for t in graph.iter_ready(start_after=2)] == [1, 3]
+
+    def test_blocked_seq_slot_defaults_none(self):
+        instance = TaskInstance(task_id=1, label="t")
+        assert instance.blocked_seq is None
+
+
+class TestRunPhaseAccounting:
+    def test_incremental_makespan_matches_latest_end_time(self):
+        config = GuidanceConfig(chromosomes=2, chunks_per_chromosome=4)
+        workload = build_guidance_workflow(config)
+        platform = make_hpc_cluster(2)
+        executor = SimulatedExecutor(
+            workload.graph, platform, policy=LoadBalancingPolicy(),
+            initial_data=workload.initial_data,
+        )
+        report = executor.run()
+        latest = max(t.end_time for t in workload.graph.tasks if t.end_time is not None)
+        assert report.makespan == latest
+
+    def test_fail_node_victims_resubmitted_and_finish(self):
+        graph = TaskGraph()
+        for i in range(1, 5):
+            graph.add_task(
+                TaskInstance(
+                    task_id=i,
+                    label=f"t{i}",
+                    requirements=ResolvedRequirements(cores=1),
+                    profile=SimProfile(duration_s=10.0),
+                )
+            )
+        platform = make_hpc_cluster(2, cores_per_node=2)
+        executor = SimulatedExecutor(graph, platform, policy=LoadBalancingPolicy())
+        victim_node = platform.alive_nodes[0].name
+        executor.fail_node_at(5.0, victim_node)
+        report = executor.run()
+        assert report.tasks_done == 4
+        assert report.resubmissions >= 1
+        assert all(t.state is TaskState.DONE for t in graph.tasks)
