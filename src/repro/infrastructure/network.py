@@ -37,6 +37,16 @@ class Link:
             return 0.0
         return self.latency_s + size_bytes / self.bandwidth_bps
 
+    def coalesced_transfer_time(self, total_bytes: float) -> float:
+        """Seconds for a batch of payloads sharing this link.
+
+        One latency charge for the whole batch plus the summed bandwidth
+        term: the transfers ride one connection setup and split the link's
+        bandwidth, which is both cheaper to evaluate and physically more
+        sensible than pricing each payload as if it had the link to itself.
+        """
+        return self.transfer_time(total_bytes)
+
 
 @dataclass
 class TransferRecord:
@@ -72,6 +82,10 @@ class NetworkTopology:
         self.intra_zone_link = intra_zone_link
         self.default_link = default_link
         self.transfers: List[TransferRecord] = []
+        # Running totals so the properties below are O(1); the record list
+        # itself is kept for the metrics layer (tracing, Gantt, Paraver).
+        self._total_bytes_moved = 0.0
+        self._remote_transfer_count = 0
         # Memoized (src_node, dst_node) -> Link resolution.  Route lookup is
         # on the stage-in hot path (once per holder per input datum);
         # topology mutations bump ``topology_version`` and drop the cache.
@@ -84,7 +98,16 @@ class NetworkTopology:
             self._route_cache.clear()
 
     def add_node(self, node_name: str, zone: str) -> None:
-        """Place ``node_name`` in ``zone`` (re-placing is allowed)."""
+        """Place ``node_name`` in ``zone`` (re-placing is allowed).
+
+        Every route-affecting mutation — first placement *and* zone
+        reassignment — bumps ``topology_version`` so cached routes (here
+        and in :class:`~repro.scheduling.locations.TransferPlanner`) are
+        invalidated; a re-add with an unchanged zone is a no-op and leaves
+        the caches intact.
+        """
+        if self._node_zone.get(node_name) == zone:
+            return
         self._node_zone[node_name] = zone
         self._invalidate_routes()
 
@@ -142,13 +165,16 @@ class NetworkTopology:
             datum=datum,
         )
         self.transfers.append(record)
+        if src_node != dst_node:
+            self._total_bytes_moved += size_bytes
+            self._remote_transfer_count += 1
         return record
 
     @property
     def total_bytes_moved(self) -> float:
         """Bytes moved across distinct nodes (locality metric for E4/E5)."""
-        return sum(t.size_bytes for t in self.transfers if t.src_node != t.dst_node)
+        return self._total_bytes_moved
 
     @property
     def remote_transfer_count(self) -> int:
-        return sum(1 for t in self.transfers if t.src_node != t.dst_node)
+        return self._remote_transfer_count

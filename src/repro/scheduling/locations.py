@@ -23,7 +23,17 @@ service maintains:
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import AbstractSet, Dict, Iterable, Mapping, Optional, Sequence, Set, Tuple
+from typing import (
+    AbstractSet,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 #: Shared empty result for lookups of unknown data (avoids per-call allocs).
 _NO_HOLDERS: AbstractSet[str] = frozenset()
@@ -292,3 +302,61 @@ class TransferPlanner:
             cache.clear()
         cache[key] = (datum_version, topology_version, best_src, best)
         return (best_src, best)
+
+    def stage_in_plan(
+        self, datum_ids: Iterable[str], dst_node: str
+    ) -> Tuple[float, List[Tuple[str, str, float, float]]]:
+        """Coalesced stage-in pricing for one task's missing inputs.
+
+        Each missing datum still fetches from its memoized cheapest source,
+        but same-link transfers are batched: one latency charge plus the
+        summed bandwidth term per physical link (``Link`` instances are
+        shared per zone pair, so grouping by link is per-link shared-
+        bandwidth accounting — two holders in one remote zone do not each
+        get the full pipe).  Distinct links run in parallel, so the plan
+        duration is the max over links.
+
+        Returns ``(duration, moves)`` where each move is
+        ``(datum_id, src_node, size_bytes, seconds)`` — ``seconds`` being
+        the coalesced duration of the move's link group, which is what the
+        executor records per transfer (all members of a batch complete
+        together).  Byte totals and source choices are identical to the
+        per-holder path; only the latency accounting is coalesced.
+        """
+        best_source = self.best_source
+        locations = self.locations
+        moves: List[Tuple[str, str, float, float]] = []
+        for datum_id in datum_ids:
+            src, solo = best_source(datum_id, dst_node)
+            if src is None:  # no holders (ambient) or already local
+                continue
+            moves.append((datum_id, src, locations.size_of(datum_id), solo))
+        if not moves:
+            return (0.0, moves)
+        if len(moves) == 1:
+            # Solo transfer: coalesced pricing degenerates to the
+            # point-to-point time best_source already computed.
+            return (moves[0][3], moves)
+        network = self.network
+        link_between = network.link_between
+        # Group by resolved link (cached object identity): one latency +
+        # summed bytes per link.
+        link_totals: Dict[int, List] = {}
+        move_links = []
+        for datum_id, src, size, _solo in moves:
+            link = link_between(src, dst_node)
+            entry = link_totals.get(id(link))
+            if entry is None:
+                entry = link_totals[id(link)] = [link, 0.0]
+            entry[1] += size
+            move_links.append(id(link))
+        durations = {
+            key: link.coalesced_transfer_time(total)
+            for key, (link, total) in link_totals.items()
+        }
+        worst = max(durations.values())
+        moves = [
+            (datum_id, src, size, durations[link_key])
+            for (datum_id, src, size, _solo), link_key in zip(moves, move_links)
+        ]
+        return (worst, moves)

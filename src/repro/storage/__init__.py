@@ -20,6 +20,7 @@ from repro.storage.interface import (
     get_storage_runtime,
     set_storage_runtime,
     estimate_size,
+    estimate_size_digest,
 )
 from repro.storage.keyvalue import ConsistentHashRing, KeyValueCluster, StorageDict
 from repro.storage.activeobject import ActiveObject, ActiveObjectStore, ClassRegistry
@@ -31,6 +32,7 @@ __all__ = [
     "get_storage_runtime",
     "set_storage_runtime",
     "estimate_size",
+    "estimate_size_digest",
     "ConsistentHashRing",
     "KeyValueCluster",
     "StorageDict",

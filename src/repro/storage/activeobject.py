@@ -14,6 +14,14 @@ bytes moved* differ exactly the way the paper claims (experiment E5):
 * :meth:`ActiveObjectStore.fetch` — ship the whole object to the caller;
 * :meth:`ActiveObjectStore.call` — ship only arguments and the result,
   executing the method on the node holding the object.
+
+Data-plane hot path (PR 5): each object carries a version-tagged
+size/digest computed by one serialization pass (``estimate_size_digest``)
+at most once per state version.  In-store calls execute at the primary
+replica and charge only argument/result movement — never the object state,
+which the seed re-pickled on *every* call — and merely bump the state
+version; replicas are propagated lazily (and skipped entirely when the
+post-call digest shows the state did not actually change).
 """
 
 from __future__ import annotations
@@ -23,7 +31,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Set, Type
 
 from repro.core.exceptions import StorageError
-from repro.storage.interface import estimate_size
+from repro.storage.interface import estimate_size, estimate_size_digest
 from repro.storage.keyvalue import ConsistentHashRing
 
 
@@ -79,9 +87,23 @@ class ClassRegistry:
 
 @dataclass
 class _StoredObject:
+    """One stored object, shared by all of its replica holders.
+
+    ``version`` counts state mutations (every in-store call bumps it);
+    ``size_version`` tags the version at which ``size_bytes``/``digest``
+    were last computed, so sizing happens at most once per version and only
+    when something actually reads the size.  ``replica_versions`` tracks,
+    per holder, the state version that holder has seen — primaries advance
+    on each call, replicas catch up lazily.
+    """
+
     value: Any
-    node: str
-    size_bytes: int
+    holders: List[str]
+    version: int = 0
+    size_version: int = 0
+    size_bytes: int = 0
+    digest: Optional[int] = None
+    replica_versions: Dict[str, int] = field(default_factory=dict)
 
 
 class ActiveObjectStore:
@@ -91,6 +113,11 @@ class ActiveObjectStore:
     protocol (put/get/delete/exists/get_locations) so it can be registered
     with the storage runtime, which is how the fog agents persist task values
     (claim C5).
+
+    When a ``location_service`` is attached, stored objects' holders and
+    sizes are pushed into it incrementally (``publish``/``set_size`` on the
+    affected datum only — never a rebuild), so locality scheduling sees the
+    store's contents through the same SRI index as task outputs.
     """
 
     def __init__(
@@ -98,6 +125,7 @@ class ActiveObjectStore:
         node_names: List[str],
         name: str = "dataclay",
         replication: int = 1,
+        location_service=None,
     ) -> None:
         if not node_names:
             raise StorageError("active object store needs at least one node")
@@ -107,16 +135,26 @@ class ActiveObjectStore:
         self.ring = ConsistentHashRing()
         self._alive: Set[str] = set()
         self._objects: Dict[str, Dict[str, _StoredObject]] = {}
+        # Forward index: object id -> its (shared) record, so holder lookup
+        # is one dict probe instead of a scan over every alive node.
+        self._records: Dict[str, _StoredObject] = {}
         for node in node_names:
             self.ring.add_node(node)
             self._alive.add(node)
             self._objects[node] = {}
         self._ids = itertools.count(1)
+        self.location_service = location_service
         # Transfer accounting for the E5 comparison.
         self.bytes_moved_fetch = 0
         self.bytes_moved_calls = 0
         self.in_store_executions = 0
         self.fetch_executions = 0
+        # Lazy replica propagation accounting.
+        self.bytes_moved_sync = 0
+        self.replica_syncs = 0
+        # Serialization passes over stored state (the pickle-once metric:
+        # at most one per object version actually observed).
+        self.size_computations = 0
 
     # ---------------------------------------------------------------- nodes
 
@@ -129,85 +167,177 @@ class ActiveObjectStore:
             raise StorageError(f"node {node!r} is not alive")
         self._alive.discard(node)
         self.ring.remove_node(node)
+        dropped = self._objects[node]
         self._objects[node] = {}
+        for object_id, record in dropped.items():
+            if node in record.holders:
+                record.holders.remove(node)
+                record.replica_versions.pop(node, None)
+            if not record.holders:
+                # Every replica is gone: the object is lost.
+                del self._records[object_id]
+            else:
+                # Survivor promotion: the new primary serves the object's
+                # current in-memory state (the failed node can no longer be
+                # pulled from), so mark it current without a sync charge.
+                record.replica_versions[record.holders[0]] = record.version
+        if self.location_service is not None:
+            self.location_service.evict_node(node)
 
     # ------------------------------------------------------- object lifecycle
+
+    def _place(self, object_id: str, value: Any) -> _StoredObject:
+        size, digest = estimate_size_digest(value)
+        self.size_computations += 1
+        holders = list(self.ring.preference_for(object_id, self.replication))
+        record = _StoredObject(
+            value=value,
+            holders=holders,
+            size_bytes=size,
+            digest=digest,
+            replica_versions={node: 0 for node in holders},
+        )
+        for node in holders:
+            self._objects[node][object_id] = record
+        self._records[object_id] = record
+        if self.location_service is not None:
+            for node in holders:
+                self.location_service.publish(object_id, node, size_bytes=size)
+        return record
 
     def store(self, value: Any, object_id: Optional[str] = None) -> str:
         """Persist a live object; registers its class; returns the object id."""
         self.registry.register(type(value))
         oid = object_id if object_id is not None else f"{self.name}-obj-{next(self._ids)}"
-        size = estimate_size(value)
-        for node in self.ring.replicas_for(oid, self.replication):
-            self._objects[node][oid] = _StoredObject(value=value, node=node, size_bytes=size)
+        if oid in self._records:
+            self._unplace(oid)
+        self._place(oid, value)
         return oid
 
-    def _holder(self, object_id: str) -> _StoredObject:
-        for node in self._alive:
-            stored = self._objects[node].get(object_id)
-            if stored is not None:
-                return stored
-        raise StorageError(f"object {object_id!r} not found in {self.name!r}")
+    def _unplace(self, object_id: str) -> None:
+        record = self._records.pop(object_id)
+        for node in record.holders:
+            self._objects[node].pop(object_id, None)
+
+    def _record(self, object_id: str) -> _StoredObject:
+        record = self._records.get(object_id)
+        if record is None:
+            raise StorageError(f"object {object_id!r} not found in {self.name!r}")
+        return record
+
+    def _current_size(self, object_id: str, record: _StoredObject) -> int:
+        """The object's serialized size at its current version.
+
+        Recomputed (one ``pickle.dumps``) only when the version moved since
+        the last computation; if the fresh digest matches, the mutating
+        calls were no-ops state-wise and every replica is retroactively
+        marked current — nothing would have needed to move.
+        """
+        if record.size_version != record.version:
+            size, digest = estimate_size_digest(record.value)
+            self.size_computations += 1
+            if digest is not None and digest == record.digest:
+                replica_versions = record.replica_versions
+                for node, seen in replica_versions.items():
+                    if seen == record.size_version:
+                        replica_versions[node] = record.version
+            else:
+                record.digest = digest
+                if size != record.size_bytes:
+                    record.size_bytes = size
+                    if self.location_service is not None:
+                        self.location_service.set_size(object_id, size)
+            record.size_version = record.version
+        return record.size_bytes
 
     def fetch(self, object_id: str) -> Any:
         """Ship the whole object to the caller (the non-dataClay path)."""
-        stored = self._holder(object_id)
-        self.bytes_moved_fetch += stored.size_bytes
+        record = self._record(object_id)
+        self.bytes_moved_fetch += self._current_size(object_id, record)
         self.fetch_executions += 1
-        return stored.value
+        return record.value
 
     def call(self, object_id: str, method: str, *args: Any, **kwargs: Any) -> Any:
-        """Execute ``method`` on the node holding the object (in-store).
+        """Execute ``method`` at the object's primary replica (in-store).
 
-        Only the arguments and the result cross the wire; the object itself
+        Only the arguments and the result cross the wire; the object state
         never moves — dataClay's transfer-minimization claim, measurable via
-        :attr:`bytes_moved_calls`.
+        :attr:`bytes_moved_calls`.  The state version is bumped so sizing
+        and replica propagation happen lazily, at most once per version,
+        instead of re-serializing the state on every call.
         """
-        stored = self._holder(object_id)
-        fn = self.registry.lookup_method(type(stored.value), method)
+        record = self._record(object_id)
+        fn = self.registry.lookup_method(type(record.value), method)
         moved = sum(estimate_size(a) for a in args)
         moved += sum(estimate_size(v) for v in kwargs.values())
-        result = fn(stored.value, *args, **kwargs)
+        result = fn(record.value, *args, **kwargs)
         moved += estimate_size(result)
         self.bytes_moved_calls += moved
         self.in_store_executions += 1
-        # In-place mutation may change the object's footprint.
-        stored.size_bytes = estimate_size(stored.value)
+        # The call may have mutated the state: advance the version at the
+        # primary and let replicas (and the size cache) catch up lazily.
+        record.version += 1
+        record.replica_versions[record.holders[0]] = record.version
         return result
+
+    def sync_replicas(self, object_id: str) -> int:
+        """Propagate the current state version to stale replicas.
+
+        Returns the number of replicas synced; each costs the object's
+        serialized size in :attr:`bytes_moved_sync`.  Replicas whose state
+        provably did not change (same content digest) are marked current
+        for free — the lazy half of dataClay's C4 behavior.
+        """
+        record = self._record(object_id)
+        size = self._current_size(object_id, record)
+        synced = 0
+        version = record.version
+        replica_versions = record.replica_versions
+        for node in record.holders:
+            if replica_versions.get(node, 0) != version:
+                replica_versions[node] = version
+                self.bytes_moved_sync += size
+                synced += 1
+        self.replica_syncs += synced
+        return synced
+
+    def stale_replicas(self, object_id: str) -> Set[str]:
+        """Holders that have not yet seen the object's current version."""
+        record = self._record(object_id)
+        return {
+            node
+            for node in record.holders
+            if record.replica_versions.get(node, 0) != record.version
+        }
+
+    def version_of(self, object_id: str) -> int:
+        return self._record(object_id).version
 
     # ----------------------------------------------------- backend protocol
 
     def put(self, object_id: str, value: Any) -> Set[str]:
         self.registry.register(type(value))
-        size = estimate_size(value)
-        holders = self.ring.replicas_for(object_id, self.replication)
-        for node in holders:
-            self._objects[node][object_id] = _StoredObject(
-                value=value, node=node, size_bytes=size
-            )
-        return set(holders)
+        if object_id in self._records:
+            self._unplace(object_id)
+        record = self._place(object_id, value)
+        return set(record.holders)
 
     def get(self, object_id: str) -> Any:
         return self.fetch(object_id)
 
     def delete(self, object_id: str) -> None:
-        found = False
-        for node in list(self._objects):
-            if object_id in self._objects[node]:
-                del self._objects[node][object_id]
-                found = True
-        if not found:
+        if object_id not in self._records:
             raise StorageError(f"object {object_id!r} not found in {self.name!r}")
+        self._unplace(object_id)
 
     def exists(self, object_id: str) -> bool:
-        return any(object_id in self._objects[node] for node in self._alive)
+        return object_id in self._records
 
     def get_locations(self, object_id: str) -> Set[str]:
-        return {
-            node
-            for node in self._alive
-            if object_id in self._objects.get(node, {})
-        }
+        record = self._records.get(object_id)
+        if record is None:
+            return set()
+        return set(record.holders)
 
 
 class ActiveObject:
@@ -222,6 +352,15 @@ class ActiveObject:
     def __init__(self) -> None:
         self._store: Optional[ActiveObjectStore] = None
         self._object_id: Optional[str] = None
+
+    def __getstate__(self) -> dict:
+        # Serialization (size/digest accounting, shipping the object) must
+        # cover the object's own state, not the store it is pinned to: the
+        # seed pickled ``_store`` too, which priced one object as the whole
+        # store graph and made per-call size refreshes O(store).
+        state = dict(self.__dict__)
+        state["_store"] = None
+        return state
 
     @property
     def is_persistent(self) -> bool:

@@ -12,21 +12,69 @@ from __future__ import annotations
 
 import itertools
 import pickle
-from typing import Any, Dict, List, Optional, Protocol, Set
+import sys
+import zlib
+from typing import Any, Dict, List, Optional, Protocol, Set, Tuple
 
 from repro.core.exceptions import StorageError
+
+
+def _shallow_size(obj: Any) -> int:
+    """``sys.getsizeof``-based estimate for unpicklable objects.
+
+    Shallow plus one container level: enough that a dict of a thousand
+    callbacks costs proportionally more than a single lambda, without
+    risking cycles a full traversal would have to track.
+    """
+    try:
+        size = sys.getsizeof(obj)
+    except Exception:
+        return 64
+    try:
+        if isinstance(obj, dict):
+            for key, value in obj.items():
+                size += sys.getsizeof(key) + sys.getsizeof(value)
+        elif isinstance(obj, (list, tuple, set, frozenset)):
+            for item in obj:
+                size += sys.getsizeof(item)
+        else:
+            attrs = getattr(obj, "__dict__", None)
+            if attrs:
+                for value in attrs.values():
+                    size += sys.getsizeof(value)
+    except Exception:
+        pass
+    return size
 
 
 def estimate_size(obj: Any) -> int:
     """Approximate in-memory size of an object via its pickled length.
 
     Used by backends to account bytes moved; exactness does not matter, only
-    that bigger objects cost proportionally more.
+    that bigger objects cost proportionally more.  Unpicklable objects fall
+    back to a ``sys.getsizeof``-based shallow estimate (a flat charge would
+    price a gigabyte callback registry like an int).
     """
     try:
         return len(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
-    except Exception:  # unpicklable: charge a nominal size
-        return 64
+    except Exception:
+        return _shallow_size(obj)
+
+
+def estimate_size_digest(obj: Any) -> Tuple[int, Optional[int]]:
+    """``(size, digest)`` from a single serialization pass.
+
+    The pickle-once primitive of the data plane: backends that need both a
+    byte count (transfer accounting) and a content fingerprint (replica
+    placement / lazy replica sync) pay one ``pickle.dumps`` instead of two.
+    The digest is None for unpicklable objects (sized via the shallow
+    fallback), which callers must treat as "always changed".
+    """
+    try:
+        payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception:
+        return (_shallow_size(obj), None)
+    return (len(payload), zlib.crc32(payload))
 
 
 class StorageBackend(Protocol):

@@ -12,13 +12,20 @@ needs from it — and what this module provides — is:
 * replica survival when a node fails (claim C5's recovery path);
 * :class:`StorageDict`, the dict-as-table mapping, with Hecuba's ``split()``
   so tasks can iterate partitions data-locally (claim C4).
+
+Data-plane hot path (PR 5): ring lookups are memoized behind a ring
+version counter (bumped on every join/leave, mirroring the capacity
+ledger's candidate cache), cell sizes are pickled once at write time and
+reused by every read, and the dict-as-table layer keeps O(1) membership
+plus a per-key primary cache so ``split()`` and per-partition iteration
+resolve the ring once per key *per ring version* instead of per access.
 """
 
 from __future__ import annotations
 
 import bisect
 import hashlib
-from typing import Any, Dict, Iterable, Iterator, List, Optional, Set, Tuple
+from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Set, Tuple
 
 from repro.core.exceptions import StorageError
 from repro.storage.interface import estimate_size
@@ -37,7 +44,16 @@ class ConsistentHashRing:
     Placement of a key is stable under unrelated node joins/leaves: only keys
     whose arc is affected move (the property the paper's storage backends get
     from Cassandra).
+
+    Key→preference-list lookups are memoized: ``replicas_for`` walks the
+    ring once per (key, count) per ring ``version`` — the counter bumped by
+    every ``add_node``/``remove_node`` — so steady-state placement is one
+    dict probe instead of a hash + bisect + arc walk.
     """
+
+    #: Memo entries beyond this are dropped wholesale (one-shot keys from
+    #: unbounded keyspaces must not accumulate forever).
+    PREFERENCE_CACHE_LIMIT = 1 << 18
 
     def __init__(self, virtual_nodes: int = 64) -> None:
         if virtual_nodes < 1:
@@ -46,6 +62,10 @@ class ConsistentHashRing:
         self._ring: List[Tuple[int, str]] = []
         self._hashes: List[int] = []
         self._nodes: Set[str] = set()
+        #: Bumped on every membership change; memoized preference lists are
+        #: only valid for the version they were computed at.
+        self.version = 0
+        self._preference_cache: Dict[Tuple[str, int], Tuple[str, ...]] = {}
 
     @property
     def nodes(self) -> Set[str]:
@@ -60,6 +80,9 @@ class ConsistentHashRing:
             index = bisect.bisect(self._hashes, token)
             self._hashes.insert(index, token)
             self._ring.insert(index, (token, node))
+        self.version += 1
+        if self._preference_cache:
+            self._preference_cache.clear()
 
     def remove_node(self, node: str) -> None:
         if node not in self._nodes:
@@ -68,25 +91,45 @@ class ConsistentHashRing:
         keep = [(t, n) for t, n in self._ring if n != node]
         self._ring = keep
         self._hashes = [t for t, _ in keep]
+        self.version += 1
+        if self._preference_cache:
+            self._preference_cache.clear()
 
-    def replicas_for(self, key: str, count: int) -> List[str]:
-        """The ``count`` distinct nodes responsible for ``key``, in ring order."""
+    def preference_for(self, key: str, count: int) -> Tuple[str, ...]:
+        """Memoized preference list: the ``count`` distinct nodes
+        responsible for ``key``, in ring order.
+
+        Returns a shared tuple — callers must not rely on mutating it.
+        """
+        cache = self._preference_cache
+        cache_key = (key, count)
+        chosen = cache.get(cache_key)
+        if chosen is not None:
+            return chosen
         if not self._nodes:
             raise StorageError("ring has no nodes")
         count = min(count, len(self._nodes))
         token = _hash64(str(key))
         start = bisect.bisect(self._hashes, token) % len(self._ring)
-        chosen: List[str] = []
+        picked: List[str] = []
         index = start
-        while len(chosen) < count:
+        while len(picked) < count:
             node = self._ring[index][1]
-            if node not in chosen:
-                chosen.append(node)
+            if node not in picked:
+                picked.append(node)
             index = (index + 1) % len(self._ring)
+        chosen = tuple(picked)
+        if len(cache) >= self.PREFERENCE_CACHE_LIMIT:
+            cache.clear()
+        cache[cache_key] = chosen
         return chosen
 
+    def replicas_for(self, key: str, count: int) -> List[str]:
+        """The ``count`` distinct nodes responsible for ``key``, in ring order."""
+        return list(self.preference_for(key, count))
+
     def primary_for(self, key: str) -> str:
-        return self.replicas_for(key, 1)[0]
+        return self.preference_for(key, 1)[0]
 
 
 class KeyValueCluster:
@@ -95,6 +138,10 @@ class KeyValueCluster:
     Implements the :class:`~repro.storage.interface.StorageBackend` protocol,
     so it can serve as an SRI backend, and additionally exposes the
     cell-level operations :class:`StorageDict` needs.
+
+    Cell sizes are computed once per write (pickle-once accounting): reads
+    charge the cached size instead of re-serializing the value on every
+    ``get``.
     """
 
     def __init__(
@@ -109,6 +156,8 @@ class KeyValueCluster:
         self.ring = ConsistentHashRing(virtual_nodes=virtual_nodes)
         self._data: Dict[str, Dict[str, Any]] = {}
         self._alive: Set[str] = set()
+        # Serialized size of each live cell, computed once at write time.
+        self._sizes: Dict[str, int] = {}
         for node in node_names:
             self.add_node(node)
         if not self._alive:
@@ -138,24 +187,61 @@ class KeyValueCluster:
 
     # ----------------------------------------------------------- operations
 
-    def _replicas(self, key: str) -> List[str]:
-        return self.ring.replicas_for(str(key), self.replication)
+    def _replicas(self, key: str) -> Tuple[str, ...]:
+        return self.ring.preference_for(str(key), self.replication)
 
     def put(self, object_id: str, value: Any) -> Set[str]:
         size = estimate_size(value)
+        self._sizes[object_id] = size
         holders = self._replicas(object_id)
         for node in holders:
             self._data[node][object_id] = value
             self.bytes_written += size
         return set(holders)
 
+    def put_many(self, cells: Mapping[str, Any]) -> None:
+        """Batched write path: one size computation and one (memoized) ring
+        resolution per cell, no per-call holder-set materialization."""
+        sizes = self._sizes
+        data = self._data
+        replicas = self._replicas
+        for object_id, value in cells.items():
+            size = estimate_size(value)
+            sizes[object_id] = size
+            holders = replicas(object_id)
+            for node in holders:
+                data[node][object_id] = value
+            self.bytes_written += size * len(holders)
+
+    def _charge_read(self, object_id: str, value: Any) -> Any:
+        size = self._sizes.get(object_id)
+        if size is None:
+            # Cell written before size tracking (or size evicted): price it
+            # once now and remember.
+            size = estimate_size(value)
+            self._sizes[object_id] = size
+        self.bytes_read += size
+        return value
+
     def get(self, object_id: str) -> Any:
         for node in self._replicas(object_id):
             if node in self._alive and object_id in self._data[node]:
-                value = self._data[node][object_id]
-                self.bytes_read += estimate_size(value)
-                return value
+                return self._charge_read(object_id, self._data[node][object_id])
         raise StorageError(f"object {object_id!r} not found in {self.name!r}")
+
+    def get_from(self, node: str, object_id: str) -> Any:
+        """Read a cell from a known holder without re-resolving the ring.
+
+        The per-partition iteration primitive: ``split()`` consumers know
+        each partition's node, so reads inside the partition skip straight
+        to that node's local table.  Falls back to the replica walk when
+        the hint misses (e.g. the node failed since the split).
+        """
+        if node in self._alive:
+            local = self._data[node]
+            if object_id in local:
+                return self._charge_read(object_id, local[object_id])
+        return self.get(object_id)
 
     def delete(self, object_id: str) -> None:
         found = False
@@ -163,7 +249,9 @@ class KeyValueCluster:
             if object_id in self._data[node]:
                 del self._data[node][object_id]
                 found = True
-        if not found:
+        if found:
+            self._sizes.pop(object_id, None)
+        else:
             raise StorageError(f"object {object_id!r} not found in {self.name!r}")
 
     def exists(self, object_id: str) -> bool:
@@ -183,9 +271,8 @@ class KeyValueCluster:
         """Keys whose *primary* replica lives on ``node`` (split support)."""
         if node not in self._alive:
             return []
-        return [
-            key for key in self._data[node] if self.ring.primary_for(key) == node
-        ]
+        primary_for = self.ring.primary_for
+        return [key for key in self._data[node] if primary_for(key) == node]
 
 
 class StorageDict:
@@ -195,19 +282,26 @@ class StorageDict:
     insertion.  :meth:`split` yields per-node partitions so a workflow can
     spawn one task per partition and the locality scheduler can run each
     task where its partition's primary replica lives (claim C4).
+
+    Membership lives in an insertion-ordered dict (O(1) probes — the seed
+    kept a list, making an n-cell table O(n²) to fill), and each key's
+    primary node is cached alongside the ring version it was resolved at,
+    so a steady-state ``split()`` is a pure in-memory group-by.
     """
 
     def __init__(self, cluster: KeyValueCluster, table: str) -> None:
         self.cluster = cluster
         self.table = table
-        self._keys: List[Any] = []
+        # Insertion-ordered key set; values are (ring_version, primary_node)
+        # or None when the primary has not been resolved yet.
+        self._keys: Dict[Any, Optional[Tuple[int, str]]] = {}
 
     def _cell(self, key: Any) -> str:
         return f"{self.table}:{key!r}"
 
     def __setitem__(self, key: Any, value: Any) -> None:
         if key not in self._keys:
-            self._keys.append(key)
+            self._keys[key] = None
         self.cluster.put(self._cell(key), value)
 
     def __getitem__(self, key: Any) -> Any:
@@ -218,7 +312,7 @@ class StorageDict:
     def __delitem__(self, key: Any) -> None:
         if key not in self._keys:
             raise KeyError(key)
-        self._keys.remove(key)
+        del self._keys[key]
         self.cluster.delete(self._cell(key))
 
     def __contains__(self, key: Any) -> bool:
@@ -243,21 +337,63 @@ class StorageDict:
         return default
 
     def update(self, mapping: Dict[Any, Any]) -> None:
+        """Bulk insert through the cluster's batched write path."""
+        keys = self._keys
+        cell = self._cell
+        cells = {}
         for key, value in mapping.items():
-            self[key] = value
+            if key not in keys:
+                keys[key] = None
+            cells[cell(key)] = value
+        self.cluster.put_many(cells)
 
     def location_of(self, key: Any) -> Set[str]:
         """Nodes holding replicas of one cell (SRI passthrough)."""
         return self.cluster.get_locations(self._cell(key))
 
+    def _primary_of(self, key: Any, ring_version: int) -> str:
+        cached = self._keys[key]
+        if cached is not None and cached[0] == ring_version:
+            return cached[1]
+        primary = self.cluster.ring.primary_for(self._cell(key))
+        self._keys[key] = (ring_version, primary)
+        return primary
+
     def split(self) -> Dict[str, List[Any]]:
         """Partition keys by the node holding their primary replica.
 
         Returns ``{node_name: [keys...]}`` — the Hecuba ``split()`` used to
-        generate one data-local task per partition.
+        generate one data-local task per partition.  Each key's primary is
+        cached with the ring version that produced it, so repeat splits
+        (and per-partition reads) between membership changes never touch
+        the ring.
         """
+        ring_version = self.cluster.ring.version
         partitions: Dict[str, List[Any]] = {}
-        for key in self._keys:
-            primary = self.cluster.ring.primary_for(self._cell(key))
-            partitions.setdefault(primary, []).append(key)
+        primary_of = self._primary_of
+        for key in list(self._keys):
+            primary = primary_of(key, ring_version)
+            bucket = partitions.get(primary)
+            if bucket is None:
+                bucket = partitions[primary] = []
+            bucket.append(key)
         return partitions
+
+    def partition_items(
+        self, node: str, keys: Optional[Iterable[Any]] = None
+    ) -> Iterator[Tuple[Any, Any]]:
+        """Iterate one partition's (key, value) pairs data-locally.
+
+        ``node`` names the partition (a ``split()`` dict key); ``keys``
+        defaults to that partition's current members.  Reads go straight to
+        the named node (one conceptual ring resolution for the whole
+        partition) instead of re-walking the ring per key.
+        """
+        if keys is None:
+            keys = self.split().get(node, [])
+        cell = self._cell
+        get_from = self.cluster.get_from
+        for key in keys:
+            if key not in self._keys:
+                raise KeyError(key)
+            yield key, get_from(node, cell(key))

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass, field
 from typing import Any, Callable, List
 
@@ -26,6 +27,10 @@ class DataStream:
     def __init__(self, name: str) -> None:
         self.name = name
         self._elements: List[StreamElement] = []
+        # Parallel timestamp list: publish() enforces monotonicity, so
+        # ``since`` can bisect instead of scanning the whole history (the
+        # scan made every window close O(campaign) on long streams).
+        self._timestamps: List[float] = []
         self._subscribers: List[Callable[[StreamElement], None]] = []
         self._closed = False
 
@@ -49,6 +54,7 @@ class DataStream:
                 f"precedes the last published {self._elements[-1].timestamp}"
             )
         self._elements.append(element)
+        self._timestamps.append(element.timestamp)
         for subscriber in self._subscribers:
             subscriber(element)
 
@@ -60,5 +66,6 @@ class DataStream:
         self._closed = True
 
     def since(self, timestamp: float) -> List[StreamElement]:
-        """Elements with timestamp >= the given instant."""
-        return [e for e in self._elements if e.timestamp >= timestamp]
+        """Elements with timestamp >= the given instant (bisected suffix)."""
+        start = bisect.bisect_left(self._timestamps, timestamp)
+        return self._elements[start:]

@@ -91,6 +91,39 @@ class TestNetworkTopology:
         assert net.total_bytes_moved == 100.0
         assert net.remote_transfer_count == 1
 
+    def test_topology_version_bumps_on_every_mutation(self):
+        # Route caches (here and in TransferPlanner) validate against
+        # topology_version, so every route-affecting entry point must bump
+        # it — including zone *reassignment* of an existing node.
+        net = NetworkTopology()
+        v0 = net.topology_version
+        net.add_node("a", "z1")
+        v1 = net.topology_version
+        assert v1 > v0
+        net.add_nodes(["b", "c"], zone="z2")
+        v2 = net.topology_version
+        assert v2 > v1
+        net.connect("z1", "z2", Link(0.0, 100.0))
+        v3 = net.topology_version
+        assert v3 > v2
+        # Zone reassignment is a mutation: routes through "a" change.
+        before = net.transfer_time("a", "b", 100.0)
+        net.add_node("a", "z2")
+        v4 = net.topology_version
+        assert v4 > v3
+        assert net.zone_of("a") == "z2"
+        assert net.transfer_time("a", "b", 100.0) != before
+
+    def test_topology_version_stable_on_noop_readd(self):
+        net = NetworkTopology()
+        net.add_node("a", "z1")
+        net.add_node("b", "z1")
+        net.transfer_time("a", "b", 1.0)  # warm the route cache
+        version = net.topology_version
+        net.add_node("a", "z1")  # same zone: no routes changed
+        net.add_nodes(["a", "b"], zone="z1")
+        assert net.topology_version == version
+
 
 class TestEnergyAccountant:
     def test_idle_energy_charged_over_horizon(self):
