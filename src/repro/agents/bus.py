@@ -20,12 +20,26 @@ if TYPE_CHECKING:
     from repro.agents.agent import Agent
 
 
+def _no_zone(node_name: str) -> None:
+    """Shard resolver for single-timeline engines: everything is unsharded."""
+    return None
+
+
 class MessageBus:
     """Registry + virtual-time delivery between agents."""
 
     def __init__(self, platform: Platform, engine: SimulationEngine) -> None:
         self.platform = platform
         self.engine = engine
+        # Deliveries and kills are node-local: carry the node's zone so a
+        # sharded engine files them on the zone's own timeline.  The message
+        # delay already pays at least the zone link latency (payloads are
+        # never free), which is exactly the cross-shard causality contract
+        # lookahead mode enforces.
+        if getattr(engine, "is_sharded", False):
+            self._zone_of = platform.network.zone_of
+        else:
+            self._zone_of = _no_zone
         self._agents: Dict[str, "Agent"] = {}
         self._alive: Dict[str, bool] = {}
         self._services: Dict[str, str] = {}  # service name -> provider agent
@@ -86,6 +100,7 @@ class MessageBus:
             delay,
             lambda: self._deliver(message),
             label=f"deliver-{message.op.name}-{message.message_id}",
+            shard=self._zone_of(dst_node),
         )
 
     def _deliver(self, message: Message) -> None:
@@ -100,7 +115,13 @@ class MessageBus:
 
     def kill_agent(self, name: str, at: float) -> None:
         """Schedule an agent crash: it stops processing and peers are told."""
-        self.engine.at(at, lambda: self._kill(name), priority=-10, label=f"kill-{name}")
+        self.engine.at(
+            at,
+            lambda: self._kill(name),
+            priority=-10,
+            label=f"kill-{name}",
+            shard=self._zone_of(self.agent(name).node_name),
+        )
 
     def kill_now(self, name: str) -> None:
         """Immediate agent death (battery depletion, self-detected faults)."""
@@ -125,5 +146,8 @@ class MessageBus:
             )
             # Failure detection latency: one control-message hop.
             self.engine.after(
-                0.1, lambda m=notice: self._deliver(m), label=f"detect-{name}"
+                0.1,
+                lambda m=notice: self._deliver(m),
+                label=f"detect-{name}",
+                shard=self._zone_of(other.node_name),
             )

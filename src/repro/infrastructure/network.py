@@ -146,6 +146,68 @@ class NetworkTopology:
         """Seconds to move ``size_bytes`` from src to dst (0 if same node)."""
         return self.link_between(src_node, dst_node).transfer_time(size_bytes)
 
+    # ------------------------------------------------------- zone structure
+    #
+    # The sharded simulation engine partitions the platform by zone and
+    # derives its conservative lookahead from the latency structure below:
+    # an event produced in zone A cannot affect zone B sooner than the
+    # effective (shortest-path) latency from A to B, so each zone's clock
+    # may safely run ahead of the others by that margin.
+
+    def zones(self) -> List[str]:
+        """All zones with at least one placed node, in first-placement order."""
+        seen: Dict[str, None] = {}
+        for zone in self._node_zone.values():
+            seen.setdefault(zone)
+        return list(seen)
+
+    def zone_link(self, src_zone: str, dst_zone: str) -> Link:
+        """The direct link used between two zones (intra-zone for A->A)."""
+        if src_zone == dst_zone:
+            return self.intra_zone_link
+        return self._links.get((src_zone, dst_zone), self.default_link)
+
+    def zone_latency_matrix(
+        self, zones: Optional[List[str]] = None
+    ) -> Dict[Tuple[str, str], float]:
+        """Effective latency between every zone pair (Floyd-Warshall).
+
+        The *direct* link latency between two zones over-states how soon one
+        zone can influence another when a cheaper relay exists (A->C->B with
+        two 1 ms hops undercuts a 20 ms default A->B link) — and an event
+        relayed through C's queue really can arrive that early.  A lookahead
+        bound must therefore use the all-pairs shortest-path closure, not
+        the raw link table.  Diagonal entries are 0: a zone influences
+        itself immediately.
+        """
+        names = zones if zones is not None else self.zones()
+        dist: Dict[Tuple[str, str], float] = {}
+        for a in names:
+            for b in names:
+                dist[(a, b)] = 0.0 if a == b else self.zone_link(a, b).latency_s
+        for via in names:
+            for a in names:
+                through = dist[(a, via)]
+                for b in names:
+                    relayed = through + dist[(via, b)]
+                    if relayed < dist[(a, b)]:
+                        dist[(a, b)] = relayed
+        return dist
+
+    def min_inter_zone_latency(self) -> float:
+        """Smallest effective latency between two *distinct* zones.
+
+        This is the platform-wide conservative lookahead horizon: no event
+        can cross any zone boundary faster.  Returns ``inf`` when fewer
+        than two zones exist (nothing to synchronize with).
+        """
+        matrix = self.zone_latency_matrix()
+        best = float("inf")
+        for (a, b), latency in matrix.items():
+            if a != b and latency < best:
+                best = latency
+        return best
+
     def record_transfer(
         self,
         src_node: str,

@@ -16,6 +16,7 @@ task at 100+ nodes (DESIGN.md §2, claim C1).
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 from operator import attrgetter
 from typing import Dict, Iterable, List, Optional, Set, Tuple
@@ -148,6 +149,13 @@ class CapacityLedger:
         self._mem_buckets: Dict[int, Dict[str, NodeCapacity]] = {}
         self._top_cores_key = 0
         self._top_mem_key = 0
+        # Per-cores-bucket lazy min-heaps of (node.cores, order, state);
+        # see _heap_insert.  ``_heap_stale`` counts invalidated entries per
+        # heap so staleness stays bounded (see _heap_retire) — without the
+        # bound a long run strands one dead tuple per rebucket, O(tasks)
+        # live garbage that taxes every gen-2 GC pass for the whole run.
+        self._cores_heaps: Dict[int, List[Tuple[int, int, NodeCapacity]]] = {}
+        self._heap_stale: Dict[int, int] = {}
         # Monotonic registration counter (candidates() ordering contract).
         self._order_counter = 0
         # Any capacity change invalidates cached candidate lists: the
@@ -180,10 +188,51 @@ class CapacityLedger:
         state.mem_key = mem_key
         self._cores_buckets.setdefault(cores_key, {})[name] = state
         self._mem_buckets.setdefault(mem_key, {})[name] = state
+        self._heap_insert(cores_key, state)
         if cores_key > self._top_cores_key:
             self._top_cores_key = cores_key
         if mem_key > self._top_mem_key:
             self._top_mem_key = mem_key
+
+    def _heap_insert(self, cores_key: int, state: NodeCapacity) -> None:
+        """File a bucket arrival in the bucket's tie-order heap.
+
+        The heap mirrors bucket membership lazily: entries are added on
+        every arrival and invalidated (never removed) on departure, so the
+        first *valid* head is the bucket's min-(total cores, order) member.
+        ``best_balanced`` uses that head as an O(log) winner when it fits,
+        and falls back to scanning the bucket dict when it doesn't.
+        """
+        heap = self._cores_heaps.get(cores_key)
+        if heap is None:
+            self._cores_heaps[cores_key] = heap = []
+        heapq.heappush(heap, (state.node.cores, state.order, state))
+
+    def _heap_retire(self, cores_key: int) -> None:
+        """Account one departure from ``cores_key``'s tie-order heap.
+
+        Departures invalidate lazily (the entry stays until a head
+        inspection drops it), so once invalidated entries reach half the
+        heap it is rebuilt from the bucket — O(bucket) amortized against
+        the departures that created the staleness.  This caps each heap at
+        2x its bucket's live membership; the rebuild cost is the price of
+        not letting dead tuples pile up in the GC's old generation.
+        """
+        heap = self._cores_heaps.get(cores_key)
+        if heap is None:
+            return
+        stale = self._heap_stale.get(cores_key, 0) + 1
+        if 2 * stale < len(heap):
+            self._heap_stale[cores_key] = stale
+            return
+        bucket = self._cores_buckets.get(cores_key)
+        if bucket:
+            rebuilt = [(s.node.cores, s.order, s) for s in bucket.values()]
+            heapq.heapify(rebuilt)
+            self._cores_heaps[cores_key] = rebuilt
+        else:
+            del self._cores_heaps[cores_key]
+        self._heap_stale[cores_key] = 0
 
     def _bucket_remove(self, state: NodeCapacity) -> None:
         name = state.node.name
@@ -193,6 +242,7 @@ class CapacityLedger:
         bucket = self._mem_buckets.get(state.mem_key)
         if bucket is not None:
             bucket.pop(name, None)
+        self._heap_retire(state.cores_key)
         self._settle_tops()
 
     def _rebucket(self, state: NodeCapacity) -> None:
@@ -216,6 +266,8 @@ class CapacityLedger:
                 self._cores_buckets[cores_key] = new = {}
             new[name] = state
             state.cores_key = cores_key
+            self._heap_insert(cores_key, state)
+            self._heap_retire(old_cores_key)
             if cores_key > self._top_cores_key:
                 self._top_cores_key = cores_key
             elif old_cores_key == self._top_cores_key and not old:
@@ -456,6 +508,93 @@ class CapacityLedger:
             cache.clear()
         cache[req] = (self._version, found)
         return found
+
+    def best_balanced(self, req: ResolvedRequirements) -> Optional[NodeCapacity]:
+        """Most-free-cores-first winner for ``req``, straight off the index.
+
+        Implements the :class:`~repro.scheduling.policies.LoadBalancingPolicy`
+        ranking — max free cores, ties to the smaller node, full ties to
+        registration order — without materializing the candidate list.  The
+        winner has the highest free-core count of any fitting node, so it
+        lives in the highest cores bucket that contains one: descend the
+        cores keys from the top and return the min-(total cores, order)
+        fitting member of the first bucket that has any.  The walk prices a
+        placement at the few top buckets actually inspected instead of the
+        O(nodes) full-platform filter, which is what restores flat per-event
+        cost on wide platforms (the 400-node regime of E1d).  Returns None
+        iff no node fits right now.
+
+        A memory-starved platform (few mem-plausible nodes) is served by
+        ``candidates()``'s sparse memory-axis walk instead: descending the
+        cores buckets there would wade through memory-poor nodes, while the
+        walk touches only the plausible few.
+        """
+        if (
+            req.cores > self._top_cores_key
+            or req.memory_mb.bit_length() > self._top_mem_key
+        ):
+            return None
+        mem_floor = req.memory_mb.bit_length()
+        mem_plausible = 0
+        for key, bucket in self._mem_buckets.items():
+            if key >= mem_floor:
+                mem_plausible += len(bucket)
+        if not mem_plausible:
+            return None
+        best = None
+        best_key = None
+        if 2 * mem_plausible < len(self._states):
+            # Sparse regime: filter by the memory axis, then single-pass max.
+            for state in self.candidates(req):
+                key = (-state.free_cores, state.node.cores, state.order)
+                if best is None or key < best_key:
+                    best, best_key = state, key
+            return best
+        need_mem = req.memory_mb
+        need_gpus = req.gpus
+        software = req.software
+        buckets = self._cores_buckets
+        heaps = self._cores_heaps
+        for cores_key in range(self._top_cores_key, req.cores - 1, -1):
+            bucket = buckets.get(cores_key)
+            if not bucket:
+                continue
+            # Fast path: the bucket's tie-order heap head.  An underloaded
+            # platform piles hundreds of equal-free-cores nodes into one
+            # bucket; the head is the exact min-(total, order) member, so
+            # when it also fits the demand there is nothing to scan.
+            heap = heaps.get(cores_key)
+            while heap:
+                entry = heap[0]
+                state = entry[2]
+                if state.cores_key != cores_key or state.ledger is not self:
+                    heapq.heappop(heap)  # stale: re-bucketed or removed
+                    if self._heap_stale.get(cores_key, 0) > 0:
+                        self._heap_stale[cores_key] -= 1
+                    continue
+                if (
+                    state.free_memory_mb >= need_mem
+                    and state.free_gpus >= need_gpus
+                    and software <= (node := state.node).software
+                    and not node.failed
+                    and (node.battery_joules is None or node.battery_joules > 0)
+                ):
+                    return state
+                break  # head is the tie winner but does not fit: scan
+            for state in bucket.values():
+                if (
+                    state.free_memory_mb >= need_mem
+                    and state.free_gpus >= need_gpus
+                    and software <= (node := state.node).software
+                    and not node.failed
+                    and (node.battery_joules is None or node.battery_joules > 0)
+                ):
+                    key = (state.node.cores, state.order)
+                    if best is None or key < best_key:
+                        best, best_key = state, key
+            if best is not None:
+                return best
+        return None
 
     def any_ever_fits(self, req: ResolvedRequirements) -> bool:
         return any(s.ever_fits(req) for s in self._states.values())

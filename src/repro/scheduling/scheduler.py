@@ -82,6 +82,11 @@ class TaskScheduler:
         # Capacity can only shrink while a dispatch pass allocates, so the
         # executor may skip identical demands for the rest of the pass.
         self.last_failure_was_capacity = False
+        # Indexed selection shortcut, resolved once: a policy exposing
+        # ``select_indexed`` picks straight off the ledger's indexes and
+        # never sees (or pays for) a materialized candidate list.  Such a
+        # policy must return None only when nothing fits.
+        self._select_indexed = getattr(self.policy, "select_indexed", None)
         if track_platform_changes:
             platform.on_node_join(self._on_node_join)
             platform.on_node_leave(self._on_node_leave)
@@ -116,6 +121,14 @@ class TaskScheduler:
         req = task.requirements
         self.last_failure_was_capacity = False
         if req.nodes == 1:
+            select_indexed = self._select_indexed
+            if select_indexed is not None:
+                chosen = select_indexed(task, self.ledger)
+                if chosen is None:
+                    self.last_failure_was_capacity = True
+                    return None
+                chosen.allocate(task.task_id, req)
+                return [chosen.node.name]
             candidates = self.ledger.candidates(req)
             if not candidates:
                 self.last_failure_was_capacity = True

@@ -10,6 +10,7 @@ from repro.simulation.clock import SimClock
 from repro.simulation.events import Event, EventQueue
 from repro.simulation.engine import SimulationEngine, SimulationError
 from repro.simulation.random import DeterministicRandom
+from repro.simulation.sharded import CONTROL_SHARD, ShardedSimulationEngine
 
 __all__ = [
     "SimClock",
@@ -18,4 +19,6 @@ __all__ = [
     "SimulationEngine",
     "SimulationError",
     "DeterministicRandom",
+    "ShardedSimulationEngine",
+    "CONTROL_SHARD",
 ]

@@ -32,11 +32,16 @@ class SimulationEngine:
             so an accidentally self-rescheduling event cannot hang a test run.
     """
 
+    #: Engines advertising shard support set this True; callers that want to
+    #: route events by zone check the flag once instead of probing kwargs.
+    is_sharded = False
+
     def __init__(self, start: float = 0.0, max_events: int = 50_000_000) -> None:
         self.clock = SimClock(start)
         self.queue = EventQueue()
         self.max_events = max_events
         self._dispatched = 0
+        self._lifetime_dispatched = 0
         self._stopped = False
 
     @property
@@ -46,8 +51,19 @@ class SimulationEngine:
 
     @property
     def dispatched_events(self) -> int:
-        """Number of events dispatched so far (for diagnostics)."""
+        """Events dispatched by the current (or most recent) :meth:`run`.
+
+        Reset at the start of every ``run()`` call, matching ``max_events``:
+        the safety valve bounds one run, so a caller alternating ``run(until=)``
+        phases never trips it on cumulative volume.  Use
+        :attr:`lifetime_dispatched` for totals across runs.
+        """
         return self._dispatched
+
+    @property
+    def lifetime_dispatched(self) -> int:
+        """Events dispatched over the engine's whole lifetime."""
+        return self._lifetime_dispatched
 
     def at(
         self,
@@ -55,8 +71,14 @@ class SimulationEngine:
         action: Callable[[], Any],
         priority: int = 0,
         label: str = "",
+        shard: Optional[str] = None,
     ) -> Event:
-        """Schedule ``action`` at absolute virtual ``time``."""
+        """Schedule ``action`` at absolute virtual ``time``.
+
+        ``shard`` is accepted for API compatibility with
+        :class:`~repro.simulation.sharded.ShardedSimulationEngine` and
+        ignored: the single-queue engine has one timeline.
+        """
         if time < self.clock.now:
             raise SimulationError(
                 f"cannot schedule event {label!r} at {time:.6f}, "
@@ -70,6 +92,7 @@ class SimulationEngine:
         action: Callable[[], Any],
         priority: int = 0,
         label: str = "",
+        shard: Optional[str] = None,
     ) -> Event:
         """Schedule ``action`` ``delay`` seconds from now."""
         if delay < 0:
@@ -87,6 +110,7 @@ class SimulationEngine:
             return False
         self.clock.advance_to(event.time)
         self._dispatched += 1
+        self._lifetime_dispatched += 1
         if self._dispatched > self.max_events:
             raise SimulationError(
                 f"dispatched more than {self.max_events} events; "
@@ -98,9 +122,13 @@ class SimulationEngine:
     def run(self, until: Optional[float] = None) -> float:
         """Run until the queue drains, :meth:`stop` is called, or ``until``.
 
-        Returns the final virtual time.
+        Returns the final virtual time.  With a horizon, the clock always
+        lands exactly on ``until`` unless :meth:`stop` cut the run short —
+        including when the queue drains early or holds only cancelled
+        events, so periodic callers can rely on ``now == until`` to resume.
         """
         self._stopped = False
+        self._dispatched = 0
         if until is None:
             # Hot path: no horizon to honor, so step() alone decides when to
             # stop — the per-event peek would duplicate its cancelled-event
@@ -108,12 +136,15 @@ class SimulationEngine:
             while not self._stopped and self.step():
                 pass
             return self.clock.now
+        if until < self.clock.now:
+            raise SimulationError(
+                f"cannot run until {until:.6f}, before now ({self.clock.now:.6f})"
+            )
         while not self._stopped:
             next_time = self.queue.peek_time()
-            if next_time is None:
-                break
-            if next_time > until:
-                self.clock.advance_to(until)
+            if next_time is None or next_time > until:
                 break
             self.step()
+        if not self._stopped and self.clock.now < until:
+            self.clock.advance_to(until)
         return self.clock.now

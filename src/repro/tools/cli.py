@@ -7,16 +7,21 @@ Usage (also via ``python -m repro``)::
     python -m repro simulate --workload nmmb --days 4 --nodes 6
     python -m repro analyze --workload guidance --chunks 8
     python -m repro run-text path/to/workflow.txt --nodes 4
+    python -m repro sweep --scenarios scenarios.json --workers 4 --out merged.json
 
 ``simulate`` executes a generated workload on a simulated cluster and prints
 the report; ``analyze`` prints the workflow-model metrics (work, depth,
 parallelism, speedup bounds); ``run-text`` executes a textual workflow
-description (see :mod:`repro.frontends.text`).
+description (see :mod:`repro.frontends.text`); ``sweep`` fans a JSON list of
+scenario dicts across worker processes (:mod:`repro.simulation.sweep`) and
+writes the deterministic merged document — byte-identical for any worker
+count.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -142,6 +147,100 @@ def cmd_timeline(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def simulate_scenario_runner(scenario: dict, seed: int) -> dict:
+    """Sweep runner: one ``simulate``-style run from a scenario dict.
+
+    Module-level (worker processes resolve it by reference) and
+    deterministic: the returned dict carries only seed-determined outcomes,
+    never timing.  The derived ``seed`` replaces the workload's default so
+    two scenarios differing only in ``key`` simulate different instances.
+    """
+    workload_name = scenario.get("workload", "guidance")
+    nodes = int(scenario.get("nodes", 4))
+    cores_per_node = int(scenario.get("cores_per_node", 48))
+    policy_name = scenario.get("policy", "load-balancing")
+    if workload_name == "guidance":
+        workload = build_guidance_workflow(
+            GuidanceConfig(
+                chromosomes=int(scenario.get("chromosomes", 8)),
+                chunks_per_chromosome=int(scenario.get("chunks", 8)),
+                seed=seed,
+            )
+        )
+        graph, initial_data = workload.graph, workload.initial_data
+    elif workload_name == "nmmb":
+        builder = build_nmmb_workflow(NmmbConfig(days=int(scenario.get("days", 2))))
+        graph, initial_data = builder.graph, builder.initial_data
+    elif workload_name == "ep":
+        builder = embarrassingly_parallel(
+            int(scenario.get("tasks", 100)),
+            duration=float(scenario.get("duration", 10.0)),
+        )
+        graph, initial_data = builder.graph, builder.initial_data
+    elif workload_name == "chain":
+        builder = task_chain(
+            int(scenario.get("tasks", 100)),
+            duration=float(scenario.get("duration", 10.0)),
+        )
+        graph, initial_data = builder.graph, builder.initial_data
+    else:
+        raise ValueError(f"unknown workload {workload_name!r}")
+    platform = make_hpc_cluster(nodes, cores_per_node=cores_per_node)
+    locations = DataLocationService()
+    executor = SimulatedExecutor(
+        graph,
+        platform,
+        policy=_make_policy(policy_name, locations),
+        locations=locations,
+        initial_data=initial_data,
+    )
+    report = executor.run()
+    return {
+        "workload": workload_name,
+        "tasks_done": report.tasks_done,
+        "tasks_failed": report.tasks_failed,
+        "makespan_s": report.makespan,
+        "bytes_transferred": report.bytes_transferred,
+        "energy_joules": report.energy_joules,
+        "events": executor.engine.dispatched_events,
+    }
+
+
+def cmd_sweep(args: argparse.Namespace, out) -> int:
+    from repro.simulation.sweep import run_sweep
+
+    if args.scenarios == "-":
+        scenarios = json.load(sys.stdin)
+    else:
+        with open(args.scenarios) as handle:
+            scenarios = json.load(handle)
+    if not isinstance(scenarios, list):
+        raise SystemExit("--scenarios must be a JSON list of scenario objects")
+    result = run_sweep(
+        scenarios,
+        simulate_scenario_runner,
+        workers=args.workers,
+        base_seed=args.base_seed,
+    )
+    if args.out:
+        result.write_merged(args.out)
+    else:
+        out.write(result.merged_json())
+    stats = result.stats
+    print(
+        f"sweep    : {len(scenarios)} runs, {stats.workers} workers "
+        f"({stats.cpus} cpus)",
+        file=out,
+    )
+    print(f"wall     : {stats.wall_seconds:.2f} s", file=out)
+    print(
+        f"events/s : {stats.aggregate_events_per_sec('wall'):,.0f} wall-basis, "
+        f"{stats.aggregate_events_per_sec('cpu'):,.0f} cpu-basis",
+        file=out,
+    )
+    return 0
+
+
 def cmd_run_text(args: argparse.Namespace, out) -> int:
     from repro.frontends import parse_workflow_text
 
@@ -194,6 +293,20 @@ def build_parser() -> argparse.ArgumentParser:
     timeline.add_argument("--cores-per-node", type=int, default=48)
     timeline.add_argument("--width", type=int, default=72)
 
+    sweep = subparsers.add_parser(
+        "sweep", help="fan scenario simulations across worker processes"
+    )
+    sweep.add_argument(
+        "--scenarios",
+        required=True,
+        help="JSON file with a list of scenario dicts ('-' reads stdin)",
+    )
+    sweep.add_argument("--workers", type=int, default=1)
+    sweep.add_argument("--base-seed", type=int, default=42)
+    sweep.add_argument(
+        "--out", default=None, help="write the merged document here (else stdout)"
+    )
+
     return parser
 
 
@@ -206,6 +319,7 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         "analyze": cmd_analyze,
         "run-text": cmd_run_text,
         "timeline": cmd_timeline,
+        "sweep": cmd_sweep,
     }[args.command]
     return handler(args, out)
 

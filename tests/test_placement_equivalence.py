@@ -248,6 +248,77 @@ class TestPolicySelectionEquivalence:
             assert selected is None
         else:
             assert selected is naive_load_balancing(candidates)
+        # The ledger-indexed pick must agree with the candidate-list path.
+        assert ledger.best_balanced(_make_req(req)) is selected
+
+    @settings(
+        max_examples=80,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        initial=st.lists(node_specs, min_size=1, max_size=6),
+        ops=ledger_ops,
+        probe=req_specs,
+    )
+    def test_best_balanced_matches_naive_under_churn(self, initial, ops, probe):
+        """``best_balanced`` == naive max over the full scan, through
+        arbitrary allocate/release/join/leave/fail programs — the churn is
+        what exercises the lazy tie-order heaps (stale entries from
+        rebucketing and node removal) and the dense/sparse regime switch."""
+        ledger = CapacityLedger(
+            _make_node(f"n{i}", spec) for i, spec in enumerate(initial)
+        )
+        next_name = len(initial)
+        next_task = 0
+        running = []
+        probe_req = _make_req(probe)
+
+        def check(req):
+            fitting = [s for s in ledger.states if s.fits_now(req)]
+            got = ledger.best_balanced(req)
+            if not fitting:
+                assert got is None
+            else:
+                assert got is naive_load_balancing(fitting)
+
+        check(probe_req)
+        for op in ops:
+            kind = op[0]
+            if kind == "alloc":
+                names = ledger.node_names
+                if not names:
+                    continue
+                state = ledger.state(names[op[1] % len(names)])
+                req = _make_req(op[2])
+                if state.fits_now(req):
+                    state.allocate(next_task, req)
+                    running.append((next_task, state.node.name, req))
+                    next_task += 1
+            elif kind == "release":
+                if not running:
+                    continue
+                task_id, node_name, req = running.pop(op[1] % len(running))
+                if ledger.has_node(node_name):
+                    ledger.state(node_name).release(task_id, req)
+            elif kind == "add":
+                ledger.add_node(_make_node(f"n{next_name}", op[1]))
+                next_name += 1
+            elif kind == "remove":
+                names = ledger.node_names
+                if len(names) <= 1:
+                    continue
+                gone = names[op[1] % len(names)]
+                ledger.remove_node(gone)
+                running = [r for r in running if r[1] != gone]
+            elif kind == "fail":
+                names = ledger.node_names
+                if not names:
+                    continue
+                ledger.state(names[op[1] % len(names)]).node.fail()
+            else:  # query
+                check(_make_req(op[1]))
+            check(probe_req)
 
     @settings(max_examples=80, deadline=None)
     @given(

@@ -1,0 +1,414 @@
+"""Equivalence: zone-sharded engine vs the single-queue reference engine.
+
+The :class:`ShardedSimulationEngine` claims two things (DESIGN.md S6):
+
+* **coupled mode** is a pure re-plumbing — per-zone queues merged at pop
+  time through a shared sequence counter — so *every* observable of a
+  simulation (dispatch order, makespans, per-task timings, byte counts) is
+  identical to :class:`SimulationEngine`, on any workload, failures
+  included;
+* **lookahead mode** reorders dispatch only across zone boundaries and
+  only within the conservative latency window, so per-zone event orders
+  and all zone-local outcomes still match the single-queue run, and any
+  schedule that would break the causal contract raises instead of
+  corrupting the timeline.
+
+Each test runs the same deterministic scenario once per engine and
+compares the full outcome, mirroring the placement/data-plane equivalence
+suites.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.executor import SimulatedExecutor, SimWorkflowBuilder
+from repro.infrastructure import (
+    Link,
+    NetworkTopology,
+    make_fog_platform,
+    make_hpc_cluster,
+)
+from repro.scheduling import LoadBalancingPolicy
+from repro.simulation import (
+    CONTROL_SHARD,
+    ShardedSimulationEngine,
+    SimulationEngine,
+    SimulationError,
+)
+from repro.workloads import GuidanceConfig, build_guidance_workflow, layered_random_dag
+
+
+# --------------------------------------------------------------------------
+# Harness
+# --------------------------------------------------------------------------
+
+
+def _task_outcomes(graph):
+    """Everything a task run leaves behind, keyed by label."""
+    return {
+        t.label: (
+            t.state.name,
+            t.start_time,
+            t.end_time,
+            tuple(t.assigned_nodes),
+            t.attempts,
+        )
+        for t in graph.tasks
+    }
+
+
+def _run_guidance(engine_factory, nodes=30, chromosomes=6, chunks=6):
+    # 36 width-phase tasks > 24 nodes in rack-0, so placements (and their
+    # completion events) provably land on both rack timelines.
+    config = GuidanceConfig(chromosomes=chromosomes, chunks_per_chromosome=chunks)
+    workload = build_guidance_workflow(config)
+    platform = make_hpc_cluster(nodes)
+    engine = engine_factory(platform)
+    executor = SimulatedExecutor(
+        workload.graph,
+        platform,
+        policy=LoadBalancingPolicy(),
+        engine=engine,
+        initial_data=workload.initial_data,
+    )
+    report = executor.run()
+    return report, _task_outcomes(workload.graph), engine
+
+
+def _run_continuum(engine_factory, fail=()):
+    builder = layered_random_dag(
+        layers=[8, 12, 12, 8], seed=7, duration_median=30.0, datum_bytes=5e6
+    )
+    platform = make_fog_platform(num_edge=0, num_fog=3, num_cloud=2)
+    engine = engine_factory(platform)
+    executor = SimulatedExecutor(
+        builder.graph, platform, policy=LoadBalancingPolicy(), engine=engine
+    )
+    for time, node in fail:
+        executor.fail_node_at(time, node)
+    report = executor.run()
+    return report, _task_outcomes(builder.graph), engine
+
+
+def _single(platform):
+    return SimulationEngine()
+
+
+def _coupled(platform):
+    return ShardedSimulationEngine(network=platform.network, mode="coupled")
+
+
+def _compare_runs(single, sharded):
+    report_a, tasks_a, engine_a = single
+    report_b, tasks_b, engine_b = sharded
+    assert report_a == report_b
+    assert tasks_a == tasks_b
+    assert engine_a.dispatched_events == engine_b.dispatched_events
+
+
+# --------------------------------------------------------------------------
+# Coupled mode: byte-identical on executor workloads
+# --------------------------------------------------------------------------
+
+
+class TestCoupledExecutorEquivalence:
+    def test_guidance_on_hpc_cluster_identical(self):
+        """E1 workload, 30 nodes / 2 rack zones: full outcome equality."""
+        _compare_runs(_run_guidance(_single), _run_guidance(_coupled))
+
+    def test_guidance_spans_multiple_shards(self):
+        """The equality above must not be vacuous: the sharded run really
+        dispatches across several zone timelines, not one."""
+        _, _, engine = _run_guidance(_coupled)
+        counts = engine.shard_dispatch_counts
+        active = [name for name, n in counts.items() if n > 0]
+        assert len(active) >= 3  # both racks plus the control shard
+        assert counts[CONTROL_SHARD] > 0
+
+    def test_continuum_identical(self):
+        """Fog + cloud zones joined by a WAN: full outcome equality."""
+        _compare_runs(_run_continuum(_single), _run_continuum(_coupled))
+
+    def test_continuum_with_node_failures_identical(self):
+        """Failure injection (cancelled completions, resubmissions) crosses
+        shard timelines; outcomes must still match event-for-event."""
+        fail = ((60.0, "cloud-0"), (90.0, "fog-1"))
+        single = _run_continuum(_single, fail=fail)
+        sharded = _run_continuum(_coupled, fail=fail)
+        _compare_runs(single, sharded)
+        assert single[0].resubmissions > 0  # the failures actually bit
+
+    def test_dispatch_order_identical_with_ties_and_cancels(self):
+        """Engine-level: same-time/same-priority ties and cancellations
+        interleaved across zones dispatch in the exact single-queue order."""
+        network = NetworkTopology()
+        network.add_node("a0", "alpha")
+        network.add_node("b0", "beta")
+
+        def drive(engine, shard_of):
+            log = []
+            handles = {}
+
+            def fire(tag):
+                log.append((engine.now, tag))
+                if tag == "a-1.0":
+                    # Same-instant chain: scheduled during dispatch at now.
+                    engine.at(1.0, lambda: fire("a-chain"), shard=shard_of("alpha"))
+                    handles["victim"].cancel()
+
+            engine.at(1.0, lambda: fire("a-1.0"), shard=shard_of("alpha"))
+            engine.at(1.0, lambda: fire("b-1.0"), shard=shard_of("beta"))
+            engine.at(1.0, lambda: fire("b-pri"), priority=-1, shard=shard_of("beta"))
+            handles["victim"] = engine.at(
+                2.0, lambda: fire("victim"), shard=shard_of("beta")
+            )
+            engine.at(2.0, lambda: fire("b-2.0"), shard=shard_of("beta"))
+            engine.at(3.0, lambda: fire("a-3.0"), shard=shard_of("alpha"))
+            end = engine.run()
+            return log, end
+
+        single_log, single_end = drive(SimulationEngine(), lambda zone: None)
+        sharded_log, sharded_end = drive(
+            ShardedSimulationEngine(network=network, mode="coupled"),
+            lambda zone: zone,
+        )
+        assert sharded_log == single_log
+        assert sharded_end == single_end
+        assert [tag for _, tag in single_log] == [
+            "b-pri",
+            "a-1.0",
+            "b-1.0",
+            "a-chain",
+            "b-2.0",
+            "a-3.0",
+        ]
+
+
+# --------------------------------------------------------------------------
+# Lookahead mode: windowed concurrency, zone-local equivalence
+# --------------------------------------------------------------------------
+
+
+def _two_zone_network(latency=0.05):
+    network = NetworkTopology(
+        intra_zone_link=Link(latency_s=1e-4, bandwidth_bps=1e9),
+        default_link=Link(latency_s=latency, bandwidth_bps=1e8),
+    )
+    network.add_node("a0", "alpha")
+    network.add_node("b0", "beta")
+    return network
+
+
+class TestLookaheadMode:
+    def test_zone_local_chains_match_single_queue(self):
+        """Self-rescheduling chains in each zone plus latency-paying pings
+        across zones: per-zone event sequences equal the single-queue run."""
+
+        def drive(engine, shard_of):
+            log = []
+
+            def tick(zone, step, count):
+                log.append((round(engine.now, 9), zone, count))
+                if count < 20:
+                    engine.after(
+                        step,
+                        lambda: tick(zone, step, count + 1),
+                        shard=shard_of(zone),
+                    )
+                if count == 5 and zone == "alpha":
+                    # Cross-zone ping, paying the inter-zone latency.
+                    engine.after(
+                        0.06,
+                        lambda: log.append((round(engine.now, 9), "beta", "ping")),
+                        shard=shard_of("beta"),
+                    )
+
+            engine.at(0.0, lambda: tick("alpha", 0.013, 0), shard=shard_of("alpha"))
+            engine.at(0.0, lambda: tick("beta", 0.017, 0), shard=shard_of("beta"))
+            engine.run()
+            return log
+
+        single = drive(SimulationEngine(), lambda zone: None)
+        sharded_engine = ShardedSimulationEngine(
+            network=_two_zone_network(), mode="lookahead"
+        )
+        sharded = drive(sharded_engine, lambda zone: zone)
+        # Global interleaving may differ inside a window; per-zone streams
+        # (the only causally meaningful order) must be identical.
+        for zone in ("alpha", "beta"):
+            assert [e for e in sharded if e[1] == zone] == [
+                e for e in single if e[1] == zone
+            ]
+        assert sharded_engine.dispatched_events == len(single)
+        # The window loop really batches: both zones dispatched events.
+        counts = sharded_engine.shard_dispatch_counts
+        assert counts["alpha"] > 0 and counts["beta"] > 0
+
+    def test_cross_shard_push_below_latency_raises(self):
+        engine = ShardedSimulationEngine(
+            network=_two_zone_network(latency=0.05), mode="lookahead"
+        )
+        boom = []
+
+        def violate():
+            # 1 ms into the future, but beta is 50 ms away.
+            engine.after(0.001, lambda: boom.append(True), shard="beta")
+
+        engine.at(0.0, violate, shard="alpha")
+        with pytest.raises(SimulationError, match="latency floor"):
+            engine.run()
+        assert not boom
+
+    def test_cross_shard_push_at_latency_is_accepted(self):
+        engine = ShardedSimulationEngine(
+            network=_two_zone_network(latency=0.05), mode="lookahead"
+        )
+        seen = []
+        engine.at(
+            0.0,
+            lambda: engine.after(0.05, lambda: seen.append(engine.now), shard="beta"),
+            shard="alpha",
+        )
+        engine.run()
+        assert seen == [0.05]
+
+    def test_zero_latency_zones_rejected(self):
+        network = NetworkTopology(
+            default_link=Link(latency_s=0.0, bandwidth_bps=1e9)
+        )
+        network.add_node("a0", "alpha")
+        network.add_node("b0", "beta")
+        with pytest.raises(SimulationError, match="positive inter-zone latency"):
+            ShardedSimulationEngine(network=network, mode="lookahead")
+
+    def test_single_zone_rejected(self):
+        network = NetworkTopology()
+        network.add_node("a0", "alpha")
+        with pytest.raises(SimulationError, match="at least two zones"):
+            ShardedSimulationEngine(network=network, mode="lookahead")
+
+    def test_lookahead_wider_than_latency_rejected(self):
+        with pytest.raises(SimulationError, match="exceeds"):
+            ShardedSimulationEngine(
+                network=_two_zone_network(latency=0.05),
+                mode="lookahead",
+                lookahead=0.1,
+            )
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        steps=st.lists(
+            st.tuples(
+                st.sampled_from(["alpha", "beta"]),
+                st.floats(min_value=0.001, max_value=0.04),
+                st.integers(min_value=0, max_value=3),
+            ),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    def test_random_zone_local_workloads_match(self, steps):
+        """Randomized zone-local chains: per-zone streams always match."""
+
+        def drive(engine, shard_of):
+            log = []
+
+            def fire(zone, step, priority, count):
+                log.append((round(engine.now, 9), zone, priority, count))
+                if count < 6:
+                    engine.after(
+                        step,
+                        lambda: fire(zone, step, priority, count + 1),
+                        priority=priority,
+                        shard=shard_of(zone),
+                    )
+
+            for index, (zone, step, priority) in enumerate(steps):
+                engine.at(
+                    0.0,
+                    lambda z=zone, s=step, p=priority: fire(z, s, p, 0),
+                    priority=priority,
+                    shard=shard_of(zone),
+                )
+            engine.run()
+            return log
+
+        single = drive(SimulationEngine(), lambda zone: None)
+        sharded = drive(
+            ShardedSimulationEngine(network=_two_zone_network(), mode="lookahead"),
+            lambda zone: zone,
+        )
+        for zone in ("alpha", "beta"):
+            assert [e for e in sharded if e[1] == zone] == [
+                e for e in single if e[1] == zone
+            ]
+
+
+# --------------------------------------------------------------------------
+# Engine-surface parity (run/until/stop/step semantics)
+# --------------------------------------------------------------------------
+
+
+class TestShardedEngineSurface:
+    @pytest.fixture(params=["coupled", "lookahead"])
+    def engine(self, request):
+        return ShardedSimulationEngine(
+            network=_two_zone_network(), mode=request.param
+        )
+
+    def test_run_until_lands_on_horizon(self, engine):
+        fired = []
+        engine.at(1.0, lambda: fired.append(1), shard="alpha")
+        engine.at(5.0, lambda: fired.append(5), shard="beta")
+        assert engine.run(until=3.0) == 3.0
+        assert engine.now == 3.0
+        assert fired == [1]
+        assert engine.dispatched_events == 1
+        # Resume past the horizon; the later event is still live.
+        assert engine.run(until=10.0) == 10.0
+        assert fired == [1, 5]
+        assert engine.dispatched_events == 1
+
+    def test_run_until_with_cancelled_only_events(self, engine):
+        handle = engine.at(2.0, lambda: None, shard="alpha")
+        handle.cancel()
+        assert engine.run(until=4.0) == 4.0
+        assert engine.dispatched_events == 0
+
+    def test_run_until_before_now_raises(self, engine):
+        engine.at(2.0, lambda: None, shard="alpha")
+        engine.run(until=5.0)
+        with pytest.raises(SimulationError):
+            engine.run(until=1.0)
+
+    def test_stop_halts_before_horizon(self, engine):
+        engine.at(1.0, engine.stop, shard="alpha")
+        engine.at(2.0, lambda: None, shard="alpha")
+        end = engine.run(until=9.0)
+        assert end == 1.0
+        assert engine.dispatched_events == 1
+
+    def test_step_dispatches_global_min(self, engine):
+        fired = []
+        engine.at(2.0, lambda: fired.append("b"), shard="beta")
+        engine.at(1.0, lambda: fired.append("a"), shard="alpha")
+        assert engine.step()
+        assert fired == ["a"]
+        assert engine.step()
+        assert fired == ["a", "b"]
+        assert not engine.step()
+
+    def test_scheduling_in_past_raises(self, engine):
+        engine.at(3.0, lambda: None, shard="alpha")
+        engine.run()
+        with pytest.raises(SimulationError):
+            engine.at(1.0, lambda: None, shard="alpha")
+
+    def test_lifetime_vs_per_run_counters(self, engine):
+        engine.at(1.0, lambda: None, shard="alpha")
+        engine.run()
+        engine.at(2.0, lambda: None, shard="beta")
+        engine.run()
+        assert engine.dispatched_events == 1
+        assert engine.lifetime_dispatched == 2

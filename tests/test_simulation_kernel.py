@@ -173,3 +173,128 @@ class TestDeterministicRandom:
         samples = sorted(rng.lognormal(100.0, 0.5) for _ in range(2001))
         median = samples[1000]
         assert 70.0 < median < 140.0
+
+
+# --------------------------------------------------------------------------
+# Property tests: EventQueue ordering invariants under random op programs.
+# --------------------------------------------------------------------------
+
+from hypothesis import given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+# Times and priorities drawn from tiny domains so same-timestamp and
+# same-priority collisions are the common case, not the exception — the
+# sequence tie-break is exactly what these programs are probing.
+_TIMES = st.sampled_from([0.0, 1.0, 1.0, 2.0, 3.0])
+_PRIORITIES = st.sampled_from([-1, 0, 0, 1])
+
+# One program step: push a new event, cancel a previously pushed one (index
+# taken modulo the live count at run time), or pop/peek at this point.
+_OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("push"), _TIMES, _PRIORITIES),
+        st.tuples(st.just("cancel"), st.integers(min_value=0, max_value=63)),
+        st.tuples(st.just("pop")),
+        st.tuples(st.just("peek")),
+    ),
+    max_size=64,
+)
+
+
+class TestEventQueueProperties:
+    """The queue's contract, stated once and checked against a model.
+
+    Reference model: a plain list of pushed events.  At any point the next
+    event the queue may legally deliver is the minimum of the model's
+    un-popped, un-cancelled entries under ``(time, priority, sequence)`` —
+    which, for equal (time, priority), is the *earliest pushed*.  The model
+    never uses a heap, so agreement is evidence about the heap's laziness
+    around cancellations, not about two copies of the same code.
+    """
+
+    @staticmethod
+    def _model_next(model):
+        live = [entry for entry in model if not entry["cancelled"]]
+        return min(live, key=lambda e: e["key"]) if live else None
+
+    @given(ops=_OPS)
+    @settings(max_examples=120, deadline=None)
+    def test_random_programs_match_reference_model(self, ops):
+        queue = EventQueue()
+        model = []  # entries: {"key": (t, prio, seq), "event", "cancelled"}
+        for op in ops:
+            if op[0] == "push":
+                _, time, priority = op
+                event = queue.push(time, lambda: None, priority=priority)
+                model.append(
+                    {
+                        "key": (time, priority, event.sequence),
+                        "event": event,
+                        "cancelled": False,
+                    }
+                )
+            elif op[0] == "cancel":
+                if model:
+                    entry = model[op[1] % len(model)]
+                    entry["event"].cancel()
+                    entry["cancelled"] = True  # popping later is also fine
+            elif op[0] == "pop":
+                expected = self._model_next(model)
+                popped = queue.pop()
+                if expected is None:
+                    assert popped is None
+                else:
+                    assert popped is expected["event"]
+                    expected["cancelled"] = True  # consumed: retire it
+            else:  # peek: non-destructive, must agree with the model now
+                expected = self._model_next(model)
+                if expected is None:
+                    assert queue.peek_time() is None
+                    assert queue.peek_key() is None
+                else:
+                    assert queue.peek_time() == expected["key"][0]
+                    assert queue.peek_key() == expected["key"]
+        # Drain: the remainder comes out in exact model order.
+        remainder = []
+        while True:
+            event = queue.pop()
+            if event is None:
+                break
+            remainder.append(event)
+        live = sorted(
+            (e for e in model if not e["cancelled"]), key=lambda e: e["key"]
+        )
+        assert remainder == [e["event"] for e in live]
+
+    @given(ops=_OPS)
+    @settings(max_examples=80, deadline=None)
+    def test_peek_never_perturbs_pop_order(self, ops):
+        """Interleaving peeks (which lazily drop cancelled heads) anywhere
+        into a program must not change what the queue delivers."""
+        plain, peeked = EventQueue(), EventQueue()
+        handles = ([], [])
+        for op in ops:
+            if op[0] == "push":
+                _, time, priority = op
+                for queue, pushed in zip((plain, peeked), handles):
+                    pushed.append(queue.push(time, lambda: None, priority=priority))
+            elif op[0] == "cancel":
+                if handles[0]:
+                    index = op[1] % len(handles[0])
+                    for pushed in handles:
+                        pushed[index].cancel()
+            # pops skipped: both queues must agree on the *full* stream below
+            peeked.peek_time()
+            peeked.peek_key()
+        stream = lambda q: [  # noqa: E731 - local one-liner
+            (e.time, e.priority, e.sequence) for e in iter(q.pop, None)
+        ]
+        assert stream(plain) == stream(peeked)
+
+    @given(times=st.lists(_TIMES, min_size=2, max_size=20))
+    @settings(max_examples=80, deadline=None)
+    def test_same_timestamp_ties_resolve_in_push_order(self, times):
+        queue = EventQueue()
+        events = [queue.push(t, lambda: None) for t in times]
+        drained = list(iter(queue.pop, None))
+        assert drained == sorted(events, key=lambda e: (e.time, e.sequence))

@@ -1,0 +1,162 @@
+"""Determinism and protocol tests for the multiprocess sweep driver.
+
+The driver's contract (``repro.simulation.sweep``): per-scenario seeds are
+a pure function of (base seed, scenario content); the merged document
+contains only deterministic fields in scenario order; and therefore the
+serialized merge is byte-identical for ANY worker count — fork pool or
+inline fallback.  These tests pin each clause, plus the CLI entry point.
+"""
+
+import json
+
+import pytest
+
+from repro.simulation.sweep import (
+    SweepStats,
+    derive_seed,
+    run_sweep,
+    scenario_key,
+)
+from repro.tools.cli import main as cli_main
+
+
+def toy_runner(scenario, seed):
+    """Module-level (picklable) runner with seed-determined output."""
+    value = (seed * 2654435761) % 1_000_003
+    return {
+        "echo": scenario.get("name"),
+        "value": value,
+        "events": 100 + (seed % 50),
+    }
+
+
+SCENARIOS = [
+    {"key": "alpha", "name": "a", "size": 10},
+    {"key": "beta", "name": "b", "size": 20},
+    {"key": "gamma", "name": "c", "size": 30},
+    {"name": "keyless", "size": 40},
+]
+
+
+class TestSeedDerivation:
+    def test_seed_is_content_addressed_not_positional(self):
+        keys = [scenario_key(s) for s in SCENARIOS]
+        forward = {k: derive_seed(42, k) for k in keys}
+        backward = {k: derive_seed(42, k) for k in reversed(keys)}
+        assert forward == backward
+        assert len(set(forward.values())) == len(keys)  # streams decoupled
+
+    def test_key_insensitive_to_dict_insertion_order(self):
+        assert scenario_key({"a": 1, "b": 2}) == scenario_key({"b": 2, "a": 1})
+
+    def test_explicit_key_wins_over_content(self):
+        assert scenario_key({"key": "x", "a": 1}) == "x"
+        assert scenario_key({"key": "x", "a": 2}) == "x"
+
+    def test_base_seed_changes_every_derived_seed(self):
+        key = scenario_key(SCENARIOS[0])
+        assert derive_seed(1, key) != derive_seed(2, key)
+
+    def test_duplicate_keys_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            run_sweep(
+                [{"key": "same", "a": 1}, {"key": "same", "a": 2}],
+                toy_runner,
+            )
+
+
+class TestMergedDeterminism:
+    def test_merged_json_byte_identical_across_worker_counts(self):
+        documents = {
+            workers: run_sweep(
+                SCENARIOS, toy_runner, workers=workers, base_seed=7
+            ).merged_json()
+            for workers in (1, 2, 3)
+        }
+        assert documents[1] == documents[2] == documents[3]
+
+    def test_runs_in_scenario_order_with_seeds_and_results(self):
+        result = run_sweep(SCENARIOS, toy_runner, workers=2, base_seed=7)
+        runs = result.merged["runs"]
+        assert [r["key"] for r in runs] == [scenario_key(s) for s in SCENARIOS]
+        for run, scenario in zip(runs, SCENARIOS):
+            assert run["seed"] == derive_seed(7, scenario_key(scenario))
+            assert run["result"] == toy_runner(scenario, run["seed"])
+            assert run["scenario"] == scenario
+
+    def test_timing_never_leaks_into_merged_document(self):
+        result = run_sweep(SCENARIOS, toy_runner, workers=2)
+        assert "seconds" not in result.merged_json()
+        assert result.stats.wall_seconds > 0
+        assert len(result.stats.per_run) == len(SCENARIOS)
+        for timing in result.stats.per_run:
+            assert timing["wall_seconds"] >= 0
+            assert timing["cpu_seconds"] >= 0
+
+    def test_empty_sweep(self):
+        result = run_sweep([], toy_runner, workers=4)
+        assert result.merged["runs"] == []
+        assert result.stats.total_events == 0
+
+
+class TestStats:
+    def _stats(self, workers, runs):
+        return SweepStats(
+            workers=workers,
+            cpus=1,
+            wall_seconds=2.0,
+            total_events=1000,
+            total_cpu_seconds=4.0,
+            per_run=[{} for _ in range(runs)],
+        )
+
+    def test_wall_basis_is_events_over_wall(self):
+        assert self._stats(4, 8).aggregate_events_per_sec("wall") == 500.0
+
+    def test_cpu_basis_scales_by_effective_concurrency(self):
+        # per-cpu rate 250 ev/s; 4 workers over 8 runs -> 4x.
+        assert self._stats(4, 8).aggregate_events_per_sec("cpu") == 1000.0
+        # Concurrency is bounded by the number of runs.
+        assert self._stats(8, 2).aggregate_events_per_sec("cpu") == 500.0
+
+    def test_unknown_basis_rejected(self):
+        with pytest.raises(ValueError):
+            self._stats(1, 1).aggregate_events_per_sec("gpu")
+
+
+class TestSweepCli:
+    def test_cli_merged_output_identical_across_worker_counts(self, tmp_path, capsys):
+        scenarios = [
+            {"key": "ep-a", "workload": "ep", "tasks": 30, "nodes": 2},
+            {"key": "ep-b", "workload": "ep", "tasks": 40, "nodes": 2},
+            {
+                "key": "guidance-a",
+                "workload": "guidance",
+                "chromosomes": 2,
+                "chunks": 2,
+                "nodes": 2,
+            },
+        ]
+        scenario_path = tmp_path / "scenarios.json"
+        scenario_path.write_text(json.dumps(scenarios))
+        outputs = {}
+        for workers in (1, 2):
+            out_path = tmp_path / f"merged-{workers}.json"
+            code = cli_main(
+                [
+                    "sweep",
+                    "--scenarios",
+                    str(scenario_path),
+                    "--workers",
+                    str(workers),
+                    "--out",
+                    str(out_path),
+                ]
+            )
+            assert code == 0
+            outputs[workers] = out_path.read_bytes()
+        assert outputs[1] == outputs[2]
+        merged = json.loads(outputs[1])
+        assert [r["key"] for r in merged["runs"]] == ["ep-a", "ep-b", "guidance-a"]
+        assert all(r["result"]["tasks_done"] > 0 for r in merged["runs"])
+        assert all(r["result"]["events"] > 0 for r in merged["runs"])
