@@ -168,8 +168,23 @@ class SimulatedExecutor:
 
     def run(self, until: Optional[float] = None) -> SimulationReport:
         """Execute the whole graph; returns the report at completion."""
-        self._request_dispatch()
+        self.prime()
         self.engine.run(until=until)
+        return self.report()
+
+    def prime(self) -> None:
+        """Schedule the first dispatch pass without driving the engine.
+
+        For caller-driven engines (the lane shards of
+        :class:`~repro.simulation.parallel.ParallelShardedSimulationEngine`,
+        which drain windows under a coordinator instead of owning a run
+        loop): ``prime()`` during program setup, then :meth:`report` once
+        the coordinator declares the run over.
+        """
+        self._request_dispatch()
+
+    def report(self) -> SimulationReport:
+        """Build the completion report (the engine must have run first)."""
         if not self.graph.finished:
             stuck = [
                 t.label

@@ -11,6 +11,12 @@ from repro.simulation.events import Event, EventQueue
 from repro.simulation.engine import SimulationEngine, SimulationError
 from repro.simulation.random import DeterministicRandom
 from repro.simulation.sharded import CONTROL_SHARD, ShardedSimulationEngine
+from repro.simulation.parallel import (
+    ChannelMessage,
+    ParallelShardedSimulationEngine,
+    ShardApi,
+    run_programs_sharded,
+)
 
 __all__ = [
     "SimClock",
@@ -21,4 +27,8 @@ __all__ = [
     "DeterministicRandom",
     "ShardedSimulationEngine",
     "CONTROL_SHARD",
+    "ChannelMessage",
+    "ParallelShardedSimulationEngine",
+    "ShardApi",
+    "run_programs_sharded",
 ]

@@ -1,0 +1,852 @@
+"""Parallel shard execution: zone shards on real OS lanes.
+
+:mod:`repro.simulation.sharded` proved the conservative-lookahead contract —
+each zone may independently drain the window ``[GVT, GVT + lookahead)``
+because no cross-zone effect can undercut the inter-zone network latency —
+but still dispatches every shard on one OS thread.  This module puts the
+contract to work: each *lane* (a forked worker process, or an in-process
+object where fork is unavailable) owns one or more zone shards outright —
+their clocks, event queues, and all node-local state — and cross-shard
+pushes are buffered during a window and exchanged only at window barriers,
+as pickled :class:`ChannelMessage` records over OS pipes.
+
+The execution model is programs-per-zone rather than one global callable:
+the caller hands :class:`ParallelShardedSimulationEngine` a
+``{zone: factory}`` mapping where each ``factory(api)`` receives a
+:class:`ShardApi` — a zone-local engine facade with the familiar
+``at``/``after``/``now`` surface plus an explicit :meth:`ShardApi.send` for
+cross-zone effects.  ``send`` enforces the same latency floor as
+:meth:`ShardedSimulationEngine.at` (verbatim: ``time >= now + effective
+latency - _EPS``, raising :class:`SimulationError` on violation), which is
+what makes the safety argument — and the per-zone stream equivalence tests —
+carry over unchanged.
+
+Why a barrier for *every* cross-shard message, even between shards that
+happen to share a lane: the exchange point is part of the ordering contract.
+Messages are delivered sorted by ``(time, priority, src_index, send_seq)``
+at the window boundary regardless of transport, so the fork and inline
+transports are byte-identical by construction — the inline mode is not a
+degraded fallback but the same coordinator loop over in-process lanes, and
+payloads take the identical pickle round-trip either way (a handler always
+receives a *copy*, never the sender's object).
+
+Determinism boundary: lane placement (which zones share a process) affects
+wall-clock only, never results — zone state is never shared and message
+exchange is transport-independent.  Worker counts, core counts, and fork
+availability therefore cannot change a simulation's outcome.
+
+:func:`run_programs_sharded` runs the same ``{zone: factory}`` programs on
+the sequential :class:`ShardedSimulationEngine` (lookahead mode), giving the
+equivalence suites a reference run with the identical API surface.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import pickle
+import time as _time
+import traceback
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.infrastructure.network import NetworkTopology
+from repro.simulation.engine import SimulationEngine, SimulationError
+from repro.simulation.sharded import _EPS, ShardedSimulationEngine
+from repro.simulation.sweep import _fork_context
+
+#: ``factory(api) -> result_fn | None``: builds one zone's program against a
+#: :class:`ShardApi` and optionally returns a zero-arg callable evaluated at
+#: the end of the run to produce the zone's result.
+ProgramFactory = Callable[["ShardApi"], Optional[Callable[[], Any]]]
+
+
+@dataclass
+class ChannelMessage:
+    """One cross-shard event crossing a window barrier.
+
+    The payload is pickled *at send time* — not at transport time — so the
+    sender cannot mutate it afterwards and the inline and fork transports
+    deliver bit-identical bytes.  Ordering at the receiving shard is by
+    :attr:`sort_key`; ``send_seq`` is per-sender, so the key is total for
+    any batch (no two messages share ``(src_index, send_seq)``).
+    """
+
+    time: float
+    priority: int
+    src_zone: str
+    src_index: int
+    send_seq: int
+    dst_zone: str
+    payload_bytes: bytes
+
+    @property
+    def sort_key(self) -> Tuple[float, int, int, int]:
+        return (self.time, self.priority, self.src_index, self.send_seq)
+
+    def payload(self) -> Any:
+        """Unpickle a fresh copy of the payload (receivers own their copy)."""
+        return pickle.loads(self.payload_bytes)
+
+
+def check_latency_floor(
+    src_zone: str,
+    dst_zone: str,
+    now: float,
+    time: float,
+    latency: float,
+    label: str = "",
+) -> None:
+    """The cross-shard causal floor, shared by every engine flavor.
+
+    Identical contract to :meth:`ShardedSimulationEngine.at`: a cross-zone
+    effect may not land earlier than ``now + effective latency`` (modulo the
+    float-round-off slack ``_EPS``).  Raising here — in both the parallel
+    and the sequential reference engines — is what keeps "schedules that
+    would break causality" an error instead of a silent corruption.
+    """
+    floor = now + latency
+    if time < floor - _EPS:
+        raise SimulationError(
+            f"cross-shard event {label!r} from {src_zone!r} "
+            f"(now {now:.6f}) to {dst_zone!r} at "
+            f"{time:.6f} undercuts the zone latency floor "
+            f"({floor:.6f}); conservative windows require every "
+            "cross-zone effect to pay the network latency"
+        )
+
+
+class ShardApi:
+    """Zone-local engine facade handed to each zone's program factory.
+
+    Implements the :class:`~repro.simulation.engine.SimulationEngine`
+    surface a zone-local caller (e.g. :class:`SimulatedExecutor`) needs —
+    ``at`` / ``after`` / ``now`` / ``stop`` / ``dispatched_events`` — plus
+    the explicit cross-zone channel: :meth:`send` to emit, and
+    :meth:`on_message` to receive.  ``is_sharded`` is False on purpose:
+    everything a zone program schedules is zone-local by construction, so
+    shard-routing callers bind their no-op resolver.
+    """
+
+    is_sharded = False
+
+    def __init__(
+        self,
+        zone: str,
+        zone_index: int,
+        zones: Tuple[str, ...],
+        latency: Dict[Tuple[str, str], float],
+        lookahead: float,
+        engine: SimulationEngine,
+    ) -> None:
+        self.zone = zone
+        self.zone_index = zone_index
+        self._zones = frozenset(zones)
+        self._latency = latency
+        self._lookahead = lookahead
+        self._engine = engine
+        self._send_seq = itertools.count()
+        self._outbox: List[ChannelMessage] = []
+        self._handler: Optional[Callable[[Any], Any]] = None
+        self._done = False
+        #: ``(now, entry)`` records appended by :meth:`log`; the per-zone
+        #: stream the equivalence suites byte-compare.
+        self.logs: List[Tuple[float, Any]] = []
+
+    # ------------------------------------------------------- engine surface
+
+    @property
+    def now(self) -> float:
+        return self._engine.now
+
+    @property
+    def dispatched_events(self) -> int:
+        return self._engine.dispatched_events
+
+    def _check_shard(self, shard: Optional[str]) -> None:
+        if shard is not None and shard != self.zone:
+            raise SimulationError(
+                f"zone program {self.zone!r} cannot schedule directly on "
+                f"shard {shard!r}; cross-zone effects go through send()"
+            )
+
+    def at(self, time, action, priority=0, label="", shard=None):
+        """Schedule a zone-local event (same contract as the engines)."""
+        self._check_shard(shard)
+        return self._engine.at(time, action, priority=priority, label=label)
+
+    def after(self, delay, action, priority=0, label="", shard=None):
+        self._check_shard(shard)
+        return self._engine.after(delay, action, priority=priority, label=label)
+
+    def stop(self) -> None:
+        """Mark this zone's program done.
+
+        Informational in every engine flavor: runs end at quiescence (or the
+        horizon), never by one zone halting the others — a global cut would
+        make results depend on cross-zone dispatch interleaving, which the
+        lookahead contract deliberately leaves unordered.
+        """
+        self._done = True
+
+    @property
+    def done(self) -> bool:
+        return self._done
+
+    # ------------------------------------------------------------- channel
+
+    def latency_to(self, dst_zone: str) -> float:
+        """Effective latency to ``dst_zone`` (the send floor for it)."""
+        lat = self._latency.get((self.zone, dst_zone))
+        if lat is None:
+            return self._lookahead
+        return lat
+
+    def send(
+        self,
+        dst_zone: str,
+        payload: Any,
+        delay: Optional[float] = None,
+        time: Optional[float] = None,
+        priority: int = 0,
+        label: str = "",
+    ) -> ChannelMessage:
+        """Emit a cross-zone message, delivered at the next window barrier.
+
+        Exactly one of ``delay`` / ``time`` picks the delivery instant
+        (``delay`` is relative to :attr:`now`); it must pay the inter-zone
+        latency floor or this raises :class:`SimulationError`.  The payload
+        is pickled here, immediately — mutating it after send cannot affect
+        the delivered copy.
+        """
+        if dst_zone == self.zone:
+            raise SimulationError(
+                f"zone {self.zone!r} cannot send() to itself; use at()/after() "
+                "for same-zone scheduling"
+            )
+        if dst_zone not in self._zones:
+            raise SimulationError(
+                f"send() to unknown zone {dst_zone!r} (zones: "
+                f"{sorted(self._zones)})"
+            )
+        if (delay is None) == (time is None):
+            raise SimulationError("send() takes exactly one of delay= or time=")
+        when = self.now + delay if time is None else time
+        check_latency_floor(
+            self.zone, dst_zone, self.now, when, self.latency_to(dst_zone), label
+        )
+        message = ChannelMessage(
+            time=when,
+            priority=priority,
+            src_zone=self.zone,
+            src_index=self.zone_index,
+            send_seq=next(self._send_seq),
+            dst_zone=dst_zone,
+            payload_bytes=pickle.dumps(payload),
+        )
+        self._outbox.append(message)
+        return message
+
+    def on_message(self, handler: Callable[[Any], Any]) -> None:
+        """Register the zone's (single) cross-zone message handler."""
+        self._handler = handler
+
+    def log(self, entry: Any) -> None:
+        """Append ``(now, entry)`` to the zone's deterministic log stream."""
+        self.logs.append((self.now, entry))
+
+    # ---------------------------------------------------- coordinator hooks
+
+    def drain_outbox(self) -> List[ChannelMessage]:
+        outbox, self._outbox = self._outbox, []
+        return outbox
+
+    def deliver(self, message: ChannelMessage) -> None:
+        """File a barrier-delivered message onto the zone's local queue.
+
+        Pushed directly (not through ``at``): like the sequential sharded
+        engine, a barrier delivery lands in the queue unconditionally and
+        the dispatch-time clock advance is the causality check of record.
+        """
+        if self._handler is None:
+            raise SimulationError(
+                f"zone {self.zone!r} received a message from "
+                f"{message.src_zone!r} but registered no on_message handler"
+            )
+        handler = self._handler
+        payload_bytes = message.payload_bytes
+        self._engine.queue.push(
+            message.time,
+            lambda: handler(pickle.loads(payload_bytes)),
+            priority=message.priority,
+            label=f"channel:{message.src_zone}",
+        )
+
+
+class _LaneShard:
+    """One zone's full state inside a lane: api + engine + result hook."""
+
+    __slots__ = ("zone", "api", "engine", "result_fn")
+
+    def __init__(
+        self,
+        zone: str,
+        zone_index: int,
+        zones: Tuple[str, ...],
+        latency: Dict[Tuple[str, str], float],
+        lookahead: float,
+        max_events: int,
+    ) -> None:
+        self.zone = zone
+        self.engine = SimulationEngine(max_events=max_events)
+        self.api = ShardApi(zone, zone_index, zones, latency, lookahead, self.engine)
+        self.result_fn: Optional[Callable[[], Any]] = None
+
+    def setup(self, factory: ProgramFactory) -> None:
+        self.result_fn = factory(self.api)
+
+    def next_time(self) -> Optional[float]:
+        return self.engine.queue.peek_time()
+
+    def run_window(self, window_end: float, until: Optional[float]) -> None:
+        """Drain every local event strictly inside ``[clock, window_end)``."""
+        engine = self.engine
+        queue = engine.queue
+        while True:
+            next_time = queue.peek_time()
+            if (
+                next_time is None
+                or next_time >= window_end
+                or (until is not None and next_time > until)
+            ):
+                break
+            engine.step()
+
+    def finalize(self, until: Optional[float]) -> Dict[str, Any]:
+        if until is not None and self.engine.clock.now < until:
+            self.engine.clock.advance_to(until)
+        result = self.result_fn() if self.result_fn is not None else None
+        return {
+            "result": result,
+            "logs": list(self.api.logs),
+            "now": self.engine.now,
+            "dispatched": self.engine.dispatched_events,
+            "done": self.api.done,
+        }
+
+
+class _InlineLane:
+    """A set of shards driven in-process; the fork worker wraps this too."""
+
+    def __init__(
+        self,
+        index: int,
+        zones: List[Tuple[str, int]],
+        programs: Dict[str, ProgramFactory],
+        all_zones: Tuple[str, ...],
+        latency: Dict[Tuple[str, str], float],
+        lookahead: float,
+        max_events: int,
+    ) -> None:
+        self.index = index
+        self._programs = programs
+        self.shards = [
+            _LaneShard(zone, zone_index, all_zones, latency, lookahead, max_events)
+            for zone, zone_index in zones
+        ]
+        self.cpu_seconds = 0.0
+
+    def setup(self) -> Dict[str, Optional[float]]:
+        cpu_start = _time.process_time()
+        for shard in self.shards:
+            shard.setup(self._programs[shard.zone])
+        self.cpu_seconds += _time.process_time() - cpu_start
+        return {shard.zone: shard.next_time() for shard in self.shards}
+
+    def window(
+        self,
+        window_end: float,
+        until: Optional[float],
+        inboxes: Dict[str, List[ChannelMessage]],
+    ) -> Tuple[Dict[str, Optional[float]], List[ChannelMessage], int]:
+        """One barrier round: deliver, drain, collect the outboxes."""
+        cpu_start = _time.process_time()
+        outbox: List[ChannelMessage] = []
+        dispatched = 0
+        for shard in self.shards:
+            inbox = inboxes.get(shard.zone)
+            if inbox:
+                for message in sorted(inbox, key=lambda m: m.sort_key):
+                    shard.api.deliver(message)
+            before = shard.engine.dispatched_events
+            shard.run_window(window_end, until)
+            dispatched += shard.engine.dispatched_events - before
+            outbox.extend(shard.api.drain_outbox())
+        next_times = {shard.zone: shard.next_time() for shard in self.shards}
+        self.cpu_seconds += _time.process_time() - cpu_start
+        return next_times, outbox, dispatched
+
+    def finalize(self, until: Optional[float]) -> Dict[str, Dict[str, Any]]:
+        cpu_start = _time.process_time()
+        results = {shard.zone: shard.finalize(until) for shard in self.shards}
+        self.cpu_seconds += _time.process_time() - cpu_start
+        return results
+
+
+def _peak_rss_kb() -> float:
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX platforms
+        return 0.0
+    return float(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+
+
+def _lane_worker(lane: _InlineLane, conn) -> None:
+    """Fork-lane main loop: commands in, replies out, one pipe.
+
+    The lane object (zones, program factories, latency table) is inherited
+    through fork — factories are never pickled.  Only the messages on the
+    pipe are, which is exactly the :class:`ChannelMessage` channel the
+    protocol defines.
+    """
+    try:
+        conn.send(("ready", lane.setup()))
+        while True:
+            command = conn.recv()
+            op = command[0]
+            if op == "window":
+                _, window_end, until, inboxes = command
+                conn.send(("ok",) + lane.window(window_end, until, inboxes))
+            elif op == "finalize":
+                _, until = command
+                results = lane.finalize(until)
+                conn.send(
+                    ("result", results, lane.cpu_seconds, _peak_rss_kb())
+                )
+                return
+            else:  # pragma: no cover - protocol misuse
+                raise SimulationError(f"unknown lane command {op!r}")
+    except BaseException as exc:  # noqa: BLE001 - relayed to the parent
+        try:
+            conn.send(("error", type(exc).__name__, str(exc), traceback.format_exc()))
+        except (BrokenPipeError, OSError):  # pragma: no cover
+            pass
+
+
+class _ProcessLane:
+    """Parent-side handle for a forked lane: same interface as _InlineLane."""
+
+    def __init__(self, lane: _InlineLane, context) -> None:
+        self.index = lane.index
+        self.shards = lane.shards  # zone names only; state lives in the child
+        self._conn, child_conn = context.Pipe()
+        self._process = context.Process(
+            target=_lane_worker, args=(lane, child_conn), daemon=True
+        )
+        self._process.start()
+        child_conn.close()
+        self.cpu_seconds = 0.0
+        self.peak_rss_kb = 0.0
+
+    def _recv(self, expected: str):
+        reply = self._conn.recv()
+        if reply[0] == "error":
+            _, name, message, trace = reply
+            if name == "SimulationError":
+                # Preserve the original message verbatim so callers (and
+                # tests) match on it exactly as in the sequential engines.
+                raise SimulationError(message)
+            raise SimulationError(
+                f"lane {self.index} worker failed: {name}: {message}\n{trace}"
+            )
+        if reply[0] != expected:  # pragma: no cover - protocol misuse
+            raise SimulationError(f"lane {self.index}: expected {expected!r} reply")
+        return reply
+
+    def setup(self) -> Dict[str, Optional[float]]:
+        return self._recv("ready")[1]
+
+    def send_window(
+        self,
+        window_end: float,
+        until: Optional[float],
+        inboxes: Dict[str, List[ChannelMessage]],
+    ) -> None:
+        self._conn.send(("window", window_end, until, inboxes))
+
+    def recv_window(self):
+        reply = self._recv("ok")
+        return reply[1], reply[2], reply[3]
+
+    def finalize(self, until: Optional[float]) -> Dict[str, Dict[str, Any]]:
+        self._conn.send(("finalize", until))
+        _, results, self.cpu_seconds, self.peak_rss_kb = self._recv("result")
+        self._process.join(timeout=30)
+        self._conn.close()
+        return results
+
+    def terminate(self) -> None:
+        try:
+            self._conn.close()
+        except OSError:  # pragma: no cover
+            pass
+        if self._process.is_alive():
+            self._process.terminate()
+            self._process.join(timeout=5)
+
+
+class ParallelShardedSimulationEngine:
+    """Conservative-PDES engine running zone shards on parallel OS lanes.
+
+    One-shot: construct with a network and ``{zone: factory}`` programs,
+    call :meth:`run`, read :attr:`results` / :attr:`logs` / :attr:`stats`.
+    The window protocol is the one :class:`ShardedSimulationEngine` proved
+    sequentially — GVT from the global minimum next-event time (pending
+    barrier messages included), every lane drains ``[GVT, GVT + lookahead)``
+    independently, cross-shard pushes exchanged only at the barrier.
+
+    ``workers`` bounds the lane count (``min(workers, zones)``); zones are
+    assigned round-robin by index.  Transport is forked processes where the
+    platform has fork and ``workers > 1``; otherwise — including inside
+    daemonic pool workers, which may not fork children — the identical
+    coordinator loop runs the lanes in-process.  Results never depend on
+    the transport or the lane count (see module docstring).
+    """
+
+    is_sharded = True
+
+    def __init__(
+        self,
+        network: NetworkTopology,
+        programs: Dict[str, ProgramFactory],
+        workers: int = 2,
+        lookahead: Optional[float] = None,
+        until: Optional[float] = None,
+        max_events: int = 50_000_000,
+    ) -> None:
+        if not programs:
+            raise SimulationError("parallel engine needs at least one zone program")
+        self.network = network
+        self.programs = dict(programs)
+        self.zones: Tuple[str, ...] = tuple(self.programs)
+        self.workers = max(1, int(workers))
+        self.max_events = max_events
+        self._until = until
+        self._latency = network.zone_latency_matrix(list(self.zones))
+        floor = min(
+            (lat for (a, b), lat in self._latency.items() if a != b),
+            default=float("inf"),
+        )
+        horizon = floor if lookahead is None else lookahead
+        if not horizon > 0:
+            raise SimulationError(
+                "lookahead mode needs a positive inter-zone latency "
+                f"(got {horizon!r}); zero-latency zones cannot be "
+                "windowed — use mode='coupled'"
+            )
+        if horizon == float("inf"):
+            raise SimulationError(
+                "lookahead mode needs at least two zones to synchronize"
+            )
+        if horizon > floor:
+            raise SimulationError(
+                f"lookahead {horizon} exceeds the minimum effective "
+                f"inter-zone latency {floor}; the window would outrun "
+                "causality"
+            )
+        self.lookahead = horizon
+        self.results: Dict[str, Any] = {}
+        self.logs: Dict[str, List[Tuple[float, Any]]] = {}
+        self.shard_clocks: Dict[str, float] = {}
+        self.shard_dispatch_counts: Dict[str, int] = {}
+        self.dispatched_events = 0
+        self.stats: Dict[str, Any] = {}
+        self.now = 0.0
+        self._ran = False
+
+    # ------------------------------------------------------------------ run
+
+    def _plan_lanes(self) -> List[List[Tuple[str, int]]]:
+        lanes = max(1, min(self.workers, len(self.zones)))
+        plan: List[List[Tuple[str, int]]] = [[] for _ in range(lanes)]
+        for index, zone in enumerate(self.zones):
+            plan[index % lanes].append((zone, index))
+        return plan
+
+    def _use_fork(self) -> bool:
+        if self.workers <= 1 or len(self.zones) <= 1:
+            return False
+        if _fork_context() is None:
+            return False
+        # Daemonic pool workers (the sweep driver's children) may not fork
+        # grandchildren; the same coordinator runs the lanes inline there.
+        return not multiprocessing.current_process().daemon
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Execute the programs to quiescence (or ``until``); one-shot."""
+        if self._ran:
+            raise SimulationError("ParallelShardedSimulationEngine is one-shot")
+        self._ran = True
+        if until is None:
+            until = self._until
+        wall_start = _time.perf_counter()
+        cpu_start = _time.process_time()
+        fork = self._use_fork()
+        plan = self._plan_lanes()
+        inline_lanes = [
+            _InlineLane(
+                index,
+                zones,
+                self.programs,
+                self.zones,
+                self._latency,
+                self.lookahead,
+                self.max_events,
+            )
+            for index, zones in enumerate(plan)
+        ]
+        context = _fork_context()
+        lanes: List[Any]
+        if fork:
+            lanes = [_ProcessLane(lane, context) for lane in inline_lanes]
+        else:
+            lanes = inline_lanes
+        windows = 0
+        messages = 0
+        try:
+            next_times: Dict[str, Optional[float]] = {}
+            for lane in lanes:
+                next_times.update(lane.setup())
+            pending: Dict[str, List[ChannelMessage]] = {z: [] for z in self.zones}
+            while True:
+                gvt = None
+                for zone_time in next_times.values():
+                    if zone_time is not None and (gvt is None or zone_time < gvt):
+                        gvt = zone_time
+                for inbox in pending.values():
+                    for message in inbox:
+                        if gvt is None or message.time < gvt:
+                            gvt = message.time
+                if gvt is None:
+                    break
+                if until is not None and gvt > until:
+                    break
+                window_end = gvt + self.lookahead
+                windows += 1
+                inboxes_by_lane: List[Dict[str, List[ChannelMessage]]] = []
+                for lane, zones in zip(lanes, plan):
+                    inboxes = {}
+                    for zone, _ in zones:
+                        inbox = pending[zone]
+                        if inbox:
+                            inboxes[zone] = inbox
+                            pending[zone] = []
+                    inboxes_by_lane.append(inboxes)
+                if fork:
+                    # Broadcast first, then gather: every lane drains its
+                    # window concurrently — this is the parallel section.
+                    for lane, inboxes in zip(lanes, inboxes_by_lane):
+                        lane.send_window(window_end, until, inboxes)
+                    replies = [lane.recv_window() for lane in lanes]
+                else:
+                    replies = [
+                        lane.window(window_end, until, inboxes)
+                        for lane, inboxes in zip(lanes, inboxes_by_lane)
+                    ]
+                for lane_next, outbox, dispatched in replies:
+                    next_times.update(lane_next)
+                    self.dispatched_events += dispatched
+                    for message in outbox:
+                        if message.dst_zone not in pending:  # pragma: no cover
+                            raise SimulationError(
+                                f"message routed to unknown zone "
+                                f"{message.dst_zone!r}"
+                            )
+                        pending[message.dst_zone].append(message)
+                        messages += 1
+                if self.dispatched_events > self.max_events:
+                    raise SimulationError(
+                        f"dispatched more than {self.max_events} events; "
+                        "likely a self-rescheduling loop"
+                    )
+            for lane in lanes:
+                for zone, info in lane.finalize(until).items():
+                    self.results[zone] = info["result"]
+                    self.logs[zone] = info["logs"]
+                    self.shard_clocks[zone] = info["now"]
+                    self.shard_dispatch_counts[zone] = info["dispatched"]
+        except BaseException:
+            if fork:
+                for lane in lanes:
+                    lane.terminate()
+            raise
+        self.dispatched_events = sum(self.shard_dispatch_counts.values())
+        total_cpu = _time.process_time() - cpu_start
+        lane_cpu = [lane.cpu_seconds for lane in lanes]
+        if fork:
+            coordinator_cpu = total_cpu
+        else:
+            # Inline: the parent's own process_time includes the lane work;
+            # subtract it so the coordinator figure means the same thing in
+            # both transports (barrier + routing overhead only).
+            coordinator_cpu = max(0.0, total_cpu - sum(lane_cpu))
+        self.stats = {
+            "mode": "fork" if fork else "inline",
+            "workers": len(lanes),
+            "zones": len(self.zones),
+            "windows": windows,
+            "messages": messages,
+            "dispatched_events": self.dispatched_events,
+            "wall_seconds": _time.perf_counter() - wall_start,
+            "lane_cpu_seconds": lane_cpu,
+            "max_lane_cpu_seconds": max(lane_cpu, default=0.0),
+            "coordinator_cpu_seconds": coordinator_cpu,
+            "peak_rss_kb_per_lane": [
+                lane.peak_rss_kb if fork else _peak_rss_kb() for lane in lanes
+            ],
+        }
+        if until is not None:
+            self.now = until
+        else:
+            self.now = max(self.shard_clocks.values(), default=0.0)
+        return self.now
+
+
+# ---------------------------------------------------------------------------
+# Sequential reference: the same programs on ShardedSimulationEngine
+# ---------------------------------------------------------------------------
+
+
+class _AdapterApi(ShardApi):
+    """ShardApi over one zone of a sequential :class:`ShardedSimulationEngine`.
+
+    Same surface, same latency-floor check, same pickle round-trip for
+    payloads — the only difference is *when* cross-zone messages enter the
+    destination queue (immediately, with the engine's own cross-shard floor
+    check, instead of at a window barrier).  Per-zone streams are equivalent
+    by the sharded engine's own proof, which is what the equivalence suites
+    assert.
+    """
+
+    def __init__(
+        self,
+        zone: str,
+        zone_index: int,
+        zones: Tuple[str, ...],
+        latency: Dict[Tuple[str, str], float],
+        lookahead: float,
+        engine: ShardedSimulationEngine,
+        peers: Dict[str, "_AdapterApi"],
+    ) -> None:
+        super().__init__(zone, zone_index, zones, latency, lookahead, engine=None)
+        self._sharded = engine
+        self._peers = peers
+
+    @property
+    def now(self) -> float:
+        return self._sharded.shard_now(self.zone)
+
+    @property
+    def dispatched_events(self) -> int:
+        return self._sharded.shard_dispatch_counts.get(self.zone, 0)
+
+    def at(self, time, action, priority=0, label="", shard=None):
+        self._check_shard(shard)
+        return self._sharded.at(
+            time, action, priority=priority, label=label, shard=self.zone
+        )
+
+    def after(self, delay, action, priority=0, label="", shard=None):
+        self._check_shard(shard)
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r} for event {label!r}")
+        return self._sharded.at(
+            self.now + delay, action, priority=priority, label=label, shard=self.zone
+        )
+
+    def send(
+        self,
+        dst_zone,
+        payload,
+        delay=None,
+        time=None,
+        priority=0,
+        label="",
+    ):
+        if dst_zone == self.zone:
+            raise SimulationError(
+                f"zone {self.zone!r} cannot send() to itself; use at()/after() "
+                "for same-zone scheduling"
+            )
+        if dst_zone not in self._zones:
+            raise SimulationError(
+                f"send() to unknown zone {dst_zone!r} (zones: "
+                f"{sorted(self._zones)})"
+            )
+        if (delay is None) == (time is None):
+            raise SimulationError("send() takes exactly one of delay= or time=")
+        when = self.now + delay if time is None else time
+        check_latency_floor(
+            self.zone, dst_zone, self.now, when, self.latency_to(dst_zone), label
+        )
+        peer = self._peers[dst_zone]
+        payload_bytes = pickle.dumps(payload)
+
+        def deliver() -> None:
+            if peer._handler is None:
+                raise SimulationError(
+                    f"zone {peer.zone!r} received a message from "
+                    f"{self.zone!r} but registered no on_message handler"
+                )
+            peer._handler(pickle.loads(payload_bytes))
+
+        return self._sharded.at(
+            when,
+            deliver,
+            priority=priority,
+            label=f"channel:{self.zone}",
+            shard=dst_zone,
+        )
+
+
+def run_programs_sharded(
+    network: NetworkTopology,
+    programs: Dict[str, ProgramFactory],
+    lookahead: Optional[float] = None,
+    until: Optional[float] = None,
+) -> Dict[str, Any]:
+    """Run ``{zone: factory}`` programs on the sequential lookahead engine.
+
+    The reference run for the parallel engine's equivalence suites: same
+    program API (:class:`ShardApi` surface), same floor checks, same result
+    shape — one OS thread, windows drained shard-major.
+    """
+    zones = tuple(programs)
+    engine = ShardedSimulationEngine(
+        network=network, zones=list(zones), mode="lookahead", lookahead=lookahead
+    )
+    latency = engine._latency
+    horizon = engine.lookahead or 0.0
+    peers: Dict[str, _AdapterApi] = {}
+    apis: Dict[str, _AdapterApi] = {}
+    for index, zone in enumerate(zones):
+        apis[zone] = _AdapterApi(
+            zone, index, zones, latency, horizon, engine, peers
+        )
+    peers.update(apis)
+    result_fns = {
+        zone: programs[zone](apis[zone]) for zone in zones
+    }
+    now = engine.run(until=until)
+    return {
+        "results": {
+            zone: (fn() if fn is not None else None)
+            for zone, fn in result_fns.items()
+        },
+        "logs": {zone: list(apis[zone].logs) for zone in zones},
+        "now": now,
+        "dispatched_events": engine.dispatched_events,
+        "shard_dispatch_counts": {
+            zone: engine.shard_dispatch_counts.get(zone, 0) for zone in zones
+        },
+    }

@@ -171,6 +171,16 @@ class ShardedSimulationEngine:
     def shard_names(self) -> List[str]:
         return list(self._shards)
 
+    def shard_now(self, name: str) -> float:
+        """A shard's own clock (its zone-local virtual time).
+
+        During dispatch of one of the shard's events this equals
+        :attr:`now`; between windows a shard may be ahead of the global
+        frontier, which is exactly what zone-local callers (the program
+        adapters in :mod:`repro.simulation.parallel`) need to read.
+        """
+        return self._shard(name).clock.now
+
     @property
     def shard_dispatch_counts(self) -> Dict[str, int]:
         """Events dispatched per shard (diagnostics / load-balance checks)."""
@@ -334,6 +344,24 @@ class ShardedSimulationEngine:
                     shard.clock.advance_to(until)
             if self.clock.now < until:
                 self.clock.advance_to(until)
+        else:
+            # Quiescence (or stop): land on the single-queue engine's final
+            # time — the latest dispatched instant — not the last window's
+            # GVT.  Leaving shard clocks behind the frontier would accept
+            # at() schedules in the global past that SimulationEngine
+            # rejects; at quiescence every queue is drained, so advancing
+            # the laggards is safe.  After a stop() only the global clock
+            # moves: stopped shards may still hold earlier pending events.
+            frontier = max(
+                (shard.clock.now for shard in self._shards.values()),
+                default=self.clock.now,
+            )
+            if not self._stopped:
+                for shard in self._shards.values():
+                    if shard.clock.now < frontier:
+                        shard.clock.advance_to(frontier)
+            if self.clock.now < frontier:
+                self.clock.advance_to(frontier)
         return self.clock.now
 
     def _run_coupled(self, until: Optional[float]) -> None:

@@ -99,6 +99,19 @@ class SweepStats:
             return 0.0
         return self.total_events / cpu
 
+    @property
+    def max_peak_rss_kb(self) -> float:
+        """Largest per-worker peak RSS observed across the sweep's runs.
+
+        With forked workers each run reports its own process's high-water
+        mark, so this is the per-lane memory bill a parallel fleet pays —
+        the figure benchmark documents record next to throughput.
+        """
+        return max(
+            (float(run.get("peak_rss_kb", 0.0)) for run in self.per_run),
+            default=0.0,
+        )
+
     def aggregate_events_per_sec(self, basis: str = "cpu") -> float:
         """Aggregate events/sec of the sweep fleet.
 
@@ -150,6 +163,7 @@ def _execute_one(
         "wall_seconds": time.perf_counter() - wall_start,
         "cpu_seconds": time.process_time() - cpu_start,
         "events": float(result.get("events", 0) or 0),
+        "peak_rss_kb": _peak_rss_kb(),
     }
     # Reserved channel for runner-measured timing: the ``_stats`` dict is
     # stripped here so it can never leak into the deterministic merged
@@ -168,6 +182,21 @@ def _execute_one(
     else:
         timing["sim_cpu_seconds"] = timing["cpu_seconds"]
     return index, result, timing
+
+
+def _peak_rss_kb() -> float:
+    """This process's peak resident set size in KB (0.0 where unavailable).
+
+    Measured in the process that ran the scenario — a forked worker under
+    ``workers > 1`` / ``fresh_process``, the driver itself inline — so the
+    figure is the memory cost of the run's own working set (plus the warmed
+    parent image it forked from), not the whole fleet's.
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX platforms
+        return 0.0
+    return float(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
 
 
 def _fork_context() -> Optional[multiprocessing.context.BaseContext]:

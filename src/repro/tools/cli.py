@@ -21,6 +21,7 @@ count.
 from __future__ import annotations
 
 import argparse
+import functools
 import json
 import sys
 from typing import List, Optional
@@ -47,6 +48,32 @@ from repro.workloads import (
 
 WORKLOADS = ("guidance", "nmmb", "ep", "chain")
 POLICIES = ("fifo", "load-balancing", "locality", "energy")
+ENGINES = ("single", "sharded", "parallel")
+
+
+def _make_engine(name: str, platform):
+    """Engine for a global-scheduler (single-platform) workload.
+
+    ``single`` is the one-queue reference; ``sharded`` the zone-sharded
+    engine in coupled mode (byte-identical results by construction).
+    ``parallel`` does not apply here: a central scheduler reacts to any
+    completion instantly, so the true inter-zone lookahead is zero and
+    there is no window to run lanes under — decomposed multi-zone runs
+    (the ``zonal`` sweep workload) are where ``parallel`` pays off.
+    """
+    if name == "single":
+        return None  # SimulatedExecutor's default SimulationEngine
+    if name == "sharded":
+        from repro.simulation import ShardedSimulationEngine
+
+        return ShardedSimulationEngine(network=platform.network, mode="coupled")
+    if name == "parallel":
+        raise SystemExit(
+            "--engine parallel needs a zone-decomposed workload (its central "
+            "scheduler has zero inter-zone lookahead); use workload 'zonal' "
+            "in a sweep, or --engine sharded for the coupled equivalent"
+        )
+    raise SystemExit(f"unknown engine {name!r}")
 
 
 def _build_workload(args: argparse.Namespace):
@@ -102,6 +129,7 @@ def cmd_simulate(args: argparse.Namespace, out) -> int:
         builder.graph,
         platform,
         policy=_make_policy(args.policy, locations),
+        engine=_make_engine(args.engine, platform),
         locations=locations,
         initial_data=initial_data,
     )
@@ -109,6 +137,7 @@ def cmd_simulate(args: argparse.Namespace, out) -> int:
     print(f"workload : {args.workload} ({report.tasks_done} tasks)", file=out)
     print(f"platform : {args.nodes} nodes x {args.cores_per_node} cores", file=out)
     print(f"policy   : {args.policy}", file=out)
+    print(f"engine   : {args.engine}", file=out)
     print(f"makespan : {report.makespan:.1f} s ({report.makespan / 3600:.2f} h)", file=out)
     print(f"moved    : {report.bytes_transferred / 1e9:.2f} GB", file=out)
     print(f"energy   : {report.energy_joules / 3.6e6:.3f} kWh", file=out)
@@ -147,18 +176,52 @@ def cmd_timeline(args: argparse.Namespace, out) -> int:
     return 0
 
 
-def simulate_scenario_runner(scenario: dict, seed: int) -> dict:
+def simulate_scenario_runner(scenario: dict, seed: int, engine: str = "single") -> dict:
     """Sweep runner: one ``simulate``-style run from a scenario dict.
 
     Module-level (worker processes resolve it by reference) and
     deterministic: the returned dict carries only seed-determined outcomes,
     never timing.  The derived ``seed`` replaces the workload's default so
     two scenarios differing only in ``key`` simulate different instances.
+
+    ``engine`` replays the same scenario on a different execution engine.
+    It is bound with :func:`functools.partial` rather than injected into
+    the scenario dict, so scenario keys — and therefore derived seeds and
+    the merged document — are engine-independent: ``single`` and
+    ``sharded`` sweeps of the same scenarios are byte-identical, which
+    ``tests/test_cli.py`` asserts.  The ``zonal`` workload (decomposed
+    multi-zone programs) additionally accepts ``parallel``; a scenario's
+    own ``engine`` field, if present, wins over the flag.
     """
     workload_name = scenario.get("workload", "guidance")
+    engine = scenario.get("engine", engine)
     nodes = int(scenario.get("nodes", 4))
     cores_per_node = int(scenario.get("cores_per_node", 48))
     policy_name = scenario.get("policy", "load-balancing")
+    if workload_name == "zonal":
+        from repro.workloads import ZonalConfig, run_zonal
+
+        cfg = ZonalConfig(
+            zones=int(scenario.get("zones", 4)),
+            nodes_per_zone=int(scenario.get("nodes_per_zone", 8)),
+            cores_per_node=int(scenario.get("cores_per_node", 8)),
+            tasks_per_zone=int(scenario.get("tasks_per_zone", 2400)),
+            duration_median_s=float(scenario.get("duration_median", 2.0)),
+            inter_zone_latency_s=float(scenario.get("inter_zone_latency", 1.0)),
+            progress_interval_s=float(scenario.get("progress_interval", 25.0)),
+            seed=seed,
+        )
+        result, stats = run_zonal(
+            cfg, engine=engine, workers=int(scenario.get("workers", 2))
+        )
+        if stats:
+            # Runner-scoped timing for the stats block (stripped before
+            # merging): the critical-path CPU cost of the parallel run.
+            result["_stats"] = {
+                "cpu_seconds": stats["max_lane_cpu_seconds"]
+                + stats["coordinator_cpu_seconds"]
+            }
+        return result
     if workload_name == "guidance":
         workload = build_guidance_workflow(
             GuidanceConfig(
@@ -191,6 +254,7 @@ def simulate_scenario_runner(scenario: dict, seed: int) -> dict:
         graph,
         platform,
         policy=_make_policy(policy_name, locations),
+        engine=_make_engine(engine, platform),
         locations=locations,
         initial_data=initial_data,
     )
@@ -216,9 +280,16 @@ def cmd_sweep(args: argparse.Namespace, out) -> int:
             scenarios = json.load(handle)
     if not isinstance(scenarios, list):
         raise SystemExit("--scenarios must be a JSON list of scenario objects")
+    runner = simulate_scenario_runner
+    if args.engine != "single":
+        # partial (module-level function + plain string) stays picklable
+        # for forked workers, and — unlike injecting an ``engine`` field
+        # into the scenario dicts — leaves scenario keys, derived seeds,
+        # and the merged document untouched.
+        runner = functools.partial(simulate_scenario_runner, engine=args.engine)
     result = run_sweep(
         scenarios,
-        simulate_scenario_runner,
+        runner,
         workers=args.workers,
         base_seed=args.base_seed,
     )
@@ -238,6 +309,7 @@ def cmd_sweep(args: argparse.Namespace, out) -> int:
         f"{stats.aggregate_events_per_sec('cpu'):,.0f} cpu-basis",
         file=out,
     )
+    print(f"peak rss : {stats.max_peak_rss_kb / 1024:.0f} MB/worker", file=out)
     return 0
 
 
@@ -276,6 +348,12 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--nodes", type=int, default=4)
     simulate.add_argument("--cores-per-node", type=int, default=48)
     simulate.add_argument("--policy", choices=POLICIES, default="load-balancing")
+    simulate.add_argument(
+        "--engine",
+        choices=ENGINES,
+        default="single",
+        help="execution engine (results are engine-independent)",
+    )
 
     analyze = subparsers.add_parser("analyze", help="print workflow-model metrics")
     add_workload_options(analyze)
@@ -303,6 +381,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument("--workers", type=int, default=1)
     sweep.add_argument("--base-seed", type=int, default=42)
+    sweep.add_argument(
+        "--engine",
+        choices=ENGINES,
+        default="single",
+        help="replay every scenario on this engine (merged document is "
+        "engine-independent; 'parallel' needs the zonal workload)",
+    )
     sweep.add_argument(
         "--out", default=None, help="write the merged document here (else stdout)"
     )

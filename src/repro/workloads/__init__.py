@@ -18,6 +18,13 @@ from repro.workloads.synthetic import (
     fork_join_dag,
     layered_random_dag,
 )
+from repro.workloads.zonal import (
+    ZonalConfig,
+    make_zonal_network,
+    make_zone_programs,
+    run_zonal,
+    zone_name,
+)
 
 __all__ = [
     "GuidanceConfig",
@@ -29,4 +36,9 @@ __all__ = [
     "task_chain",
     "fork_join_dag",
     "layered_random_dag",
+    "ZonalConfig",
+    "make_zonal_network",
+    "make_zone_programs",
+    "run_zonal",
+    "zone_name",
 ]

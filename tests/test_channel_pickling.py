@@ -1,0 +1,203 @@
+"""Round-trip properties of the cross-shard message channel.
+
+Everything that crosses a window barrier in the parallel engine is a
+:class:`ChannelMessage` whose payload was pickled *at send time*; fork
+transport additionally pickles the whole message over an OS pipe.  These
+properties pin what the executor and agent layers rely on:
+
+* any payload those layers emit — agent-bus :class:`Message` envelopes for
+  every :class:`Op`, node-failure records, nested progress dicts — survives
+  the send-time pickle and the pipe pickle unchanged;
+* receivers always get a *fresh copy*: mutating the sender's object after
+  ``send()`` can never alter what is delivered;
+* delivery order is total and transport-independent: ``sort_key`` never
+  ties for distinct messages, so sorting an inbox gives one answer no
+  matter how the batch was split across lanes or permuted in flight.
+"""
+
+import pickle
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.agents.messages import Message, Op
+from repro.simulation import SimulationEngine
+from repro.simulation.parallel import ChannelMessage, ShardApi
+
+
+# --------------------------------------------------------------------------
+# Payload strategies: the shapes real senders put on the channel
+# --------------------------------------------------------------------------
+
+_scalars = (
+    st.none()
+    | st.booleans()
+    | st.integers(min_value=-(2**40), max_value=2**40)
+    | st.floats(allow_nan=False, allow_infinity=False)
+    | st.text(max_size=20)
+)
+
+_json_like = st.recursive(
+    _scalars,
+    lambda children: st.lists(children, max_size=4)
+    | st.dictionaries(st.text(max_size=8), children, max_size=4)
+    | st.tuples(children, children),
+    max_leaves=12,
+)
+
+_bus_messages = st.builds(
+    Message,
+    op=st.sampled_from(list(Op)),
+    sender=st.text(min_size=1, max_size=12),
+    recipient=st.text(min_size=1, max_size=12),
+    payload=st.dictionaries(st.text(max_size=8), _scalars, max_size=4),
+    payload_bytes=st.floats(min_value=0.0, max_value=1e9),
+)
+
+_node_failures = st.fixed_dictionaries(
+    {
+        "event": st.just("node-failure"),
+        "node": st.text(min_size=1, max_size=16),
+        "time": st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+        "cancelled_tasks": st.lists(st.text(max_size=10), max_size=4),
+        "resubmit": st.booleans(),
+    }
+)
+
+_payloads = _json_like | _bus_messages | _node_failures
+
+
+def _message(payload, time=1.0, priority=0, src_index=0, send_seq=0):
+    return ChannelMessage(
+        time=time,
+        priority=priority,
+        src_zone="alpha",
+        src_index=src_index,
+        send_seq=send_seq,
+        dst_zone="beta",
+        payload_bytes=pickle.dumps(payload),
+    )
+
+
+class TestPayloadRoundTrip:
+    @settings(max_examples=80, deadline=None)
+    @given(payload=_payloads)
+    def test_payload_survives_send_and_pipe_pickles(self, payload):
+        message = _message(payload)
+        # Send-time pickle alone (inline transport).
+        assert message.payload() == payload
+        # Plus the pipe pickle of the whole message (fork transport).
+        piped = pickle.loads(pickle.dumps(message))
+        assert piped.payload() == payload
+        assert piped.sort_key == message.sort_key
+        assert piped.payload_bytes == message.payload_bytes
+
+    @settings(max_examples=40, deadline=None)
+    @given(payload=_payloads)
+    def test_receiver_gets_a_fresh_copy(self, payload):
+        message = _message(payload)
+        first, second = message.payload(), message.payload()
+        assert first == second
+        if isinstance(first, (dict, list)) and first:
+            assert first is not second  # each delivery owns its copy
+
+    @pytest.mark.parametrize("op", list(Op))
+    def test_every_agent_bus_op_round_trips(self, op):
+        original = Message(
+            op=op,
+            sender="agent-a",
+            recipient="agent-b",
+            payload={"task": "t-1", "nested": {"cores": 4, "ok": True}},
+            payload_bytes=2048.0,
+        )
+        delivered = pickle.loads(pickle.dumps(_message(original))).payload()
+        assert delivered == original
+        assert delivered.op is op  # enum identity survives both pickles
+
+
+class TestSendTimeSnapshot:
+    def _api(self):
+        zones = ("alpha", "beta")
+        latency = {
+            (a, b): (0.0 if a == b else 0.05) for a in zones for b in zones
+        }
+        return ShardApi(
+            "alpha", 0, zones, latency, lookahead=0.05, engine=SimulationEngine()
+        )
+
+    def test_mutation_after_send_cannot_reach_the_receiver(self):
+        api = self._api()
+        payload = {"done": 3, "detail": ["a"]}
+        message = api.send("beta", payload, delay=0.05)
+        payload["done"] = 99
+        payload["detail"].append("b")
+        assert message.payload() == {"done": 3, "detail": ["a"]}
+
+    def test_send_seq_is_per_sender_monotonic(self):
+        api = self._api()
+        sent = [api.send("beta", i, delay=0.05) for i in range(5)]
+        assert [m.send_seq for m in sent] == [0, 1, 2, 3, 4]
+
+
+# --------------------------------------------------------------------------
+# Delivery order: total, permutation- and batch-split-invariant
+# --------------------------------------------------------------------------
+
+_batch_specs = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=10.0, allow_nan=False),  # time
+        st.integers(min_value=-2, max_value=2),  # priority
+        st.integers(min_value=0, max_value=3),  # src zone index
+    ),
+    min_size=1,
+    max_size=16,
+)
+
+
+class TestDeliveryOrder:
+    def _build(self, specs):
+        seqs = {}
+        messages = []
+        for time, priority, src_index in specs:
+            seq = seqs.get(src_index, 0)
+            seqs[src_index] = seq + 1
+            messages.append(
+                _message(
+                    {"n": seq}, time=time, priority=priority,
+                    src_index=src_index, send_seq=seq,
+                )
+            )
+        return messages
+
+    @settings(max_examples=60, deadline=None)
+    @given(specs=_batch_specs, data=st.data())
+    def test_sort_key_is_total_and_permutation_invariant(self, specs, data):
+        messages = self._build(specs)
+        keys = [m.sort_key for m in messages]
+        # Total: (src_index, send_seq) is unique per message, so no ties.
+        assert len(set(keys)) == len(keys)
+        shuffled = data.draw(st.permutations(messages))
+        assert [
+            m.sort_key for m in sorted(shuffled, key=lambda m: m.sort_key)
+        ] == sorted(keys)
+
+    @settings(max_examples=40, deadline=None)
+    @given(specs=_batch_specs, split=st.integers(min_value=1, max_value=4))
+    def test_order_invariant_under_batch_splits_and_pipe_transport(
+        self, specs, split
+    ):
+        """However the coordinator groups an inbox into per-lane pipe writes,
+        the receiver's sorted order is the same — including after each batch
+        individually takes the pipe's pickle round-trip."""
+        messages = self._build(specs)
+        whole = sorted(messages, key=lambda m: m.sort_key)
+        batches = [messages[i::split] for i in range(split)]
+        piped = [
+            pickle.loads(pickle.dumps(batch)) for batch in batches if batch
+        ]
+        recombined = sorted(
+            (m for batch in piped for m in batch), key=lambda m: m.sort_key
+        )
+        assert [m.sort_key for m in recombined] == [m.sort_key for m in whole]
+        assert [m.payload() for m in recombined] == [m.payload() for m in whole]

@@ -90,3 +90,79 @@ class TestErrors:
     def test_unknown_workload_rejected(self):
         with pytest.raises(SystemExit):
             run_cli("simulate", "--workload", "nope")
+
+
+class TestEngineFlag:
+    def test_simulate_engine_sharded_matches_single(self):
+        argv = ("simulate", "--workload", "ep", "--tasks", "10", "--nodes", "2")
+        code_single, out_single = run_cli(*argv)
+        code_sharded, out_sharded = run_cli(*argv, "--engine", "sharded")
+        assert code_single == code_sharded == 0
+        assert "engine   : sharded" in out_sharded
+
+        def strip_engine(text):
+            return [l for l in text.splitlines() if not l.startswith("engine")]
+
+        # Engine-independence: everything but the engine line is identical.
+        assert strip_engine(out_single) == strip_engine(out_sharded)
+
+    def test_simulate_engine_parallel_needs_zonal_workload(self):
+        with pytest.raises(SystemExit, match="zonal"):
+            run_cli(
+                "simulate", "--workload", "ep", "--tasks", "5",
+                "--engine", "parallel",
+            )
+
+    def test_sweep_engine_replay_merged_bytes_identical(self, tmp_path):
+        """--engine sharded replays classic + zonal scenarios with the
+        merged document byte-identical to the single-engine run."""
+        import json as _json
+
+        scenarios = [
+            {"key": "ep-a", "workload": "ep", "tasks": 20, "nodes": 2},
+            {
+                "key": "zonal-a", "workload": "zonal", "zones": 2,
+                "nodes_per_zone": 2, "cores_per_node": 2,
+                "tasks_per_zone": 20, "workers": 2,
+            },
+        ]
+        scenario_path = tmp_path / "scenarios.json"
+        scenario_path.write_text(_json.dumps(scenarios))
+        outputs = {}
+        for engine in ("single", "sharded"):
+            out_path = tmp_path / f"merged-{engine}.json"
+            code, text = run_cli(
+                "sweep", "--scenarios", str(scenario_path),
+                "--engine", engine, "--out", str(out_path),
+            )
+            assert code == 0
+            assert "peak rss" in text
+            outputs[engine] = out_path.read_bytes()
+        assert outputs["single"] == outputs["sharded"]
+
+    def test_sweep_zonal_parallel_identical_to_sequential_engines(self, tmp_path):
+        import json as _json
+
+        scenarios = [
+            {
+                "key": "zonal-b", "workload": "zonal", "zones": 3,
+                "nodes_per_zone": 2, "cores_per_node": 2,
+                "tasks_per_zone": 24, "workers": 3,
+            },
+        ]
+        scenario_path = tmp_path / "scenarios.json"
+        scenario_path.write_text(_json.dumps(scenarios))
+        outputs = {}
+        for engine in ("single", "sharded", "parallel"):
+            out_path = tmp_path / f"merged-{engine}.json"
+            code, _ = run_cli(
+                "sweep", "--scenarios", str(scenario_path),
+                "--engine", engine, "--out", str(out_path),
+            )
+            assert code == 0
+            outputs[engine] = out_path.read_bytes()
+        assert outputs["single"] == outputs["sharded"] == outputs["parallel"]
+        merged = _json.loads(outputs["parallel"])
+        result = merged["runs"][0]["result"]
+        assert result["tasks_done"] == 3 * 24
+        assert "_stats" not in result  # runner timing never leaks

@@ -1,0 +1,378 @@
+"""Equivalence: parallel shard lanes vs the sequential lookahead engine.
+
+The :class:`ParallelShardedSimulationEngine` contract (DESIGN.md S6, PR 7):
+transport is never semantics.  The same ``{zone: factory}`` programs must
+produce byte-identical per-zone log streams, results, and dispatch counts
+
+* across fork and inline transports,
+* across any lane count (zones per worker is a wall-clock knob only),
+* and against :func:`run_programs_sharded`, the same programs on the
+  sequential :class:`ShardedSimulationEngine` in lookahead mode.
+
+And every schedule that would break the causal contract — a cross-zone send
+undercutting the latency floor — must raise :class:`SimulationError` with
+the same message in *every* flavor, fork lanes included (errors cross the
+pipe verbatim).
+"""
+
+import json
+import pickle
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.infrastructure import Link, NetworkTopology
+from repro.simulation import (
+    ParallelShardedSimulationEngine,
+    SimulationError,
+    run_programs_sharded,
+)
+from repro.workloads import ZonalConfig, run_zonal
+
+
+# --------------------------------------------------------------------------
+# Harness
+# --------------------------------------------------------------------------
+
+LATENCY = 0.05
+
+
+def _network(zones, latency=LATENCY):
+    network = NetworkTopology(
+        intra_zone_link=Link(latency_s=1e-4, bandwidth_bps=1e9),
+        default_link=Link(latency_s=latency, bandwidth_bps=1e8),
+    )
+    for zone in zones:
+        network.add_node(f"{zone}-n0", zone)
+    return network
+
+
+def _chain_programs(zones, steps, chain_len=6):
+    """Zone programs from a plain spec (picklable-free: closures are fine,
+    factories ride through fork, never through a pipe).
+
+    ``steps``: list of ``(zone_index, step, priority, ping)`` — each starts
+    a self-rescheduling chain in that zone; chains with ``ping`` True send
+    a cross-zone message (paying exactly the latency floor) at hop 2.
+    """
+
+    def make_factory(zone, index):
+        def factory(api):
+            def on_msg(payload):
+                api.log(("msg", payload["from"], payload["tag"]))
+
+            api.on_message(on_msg)
+
+            def fire(step, priority, tag, ping, count):
+                api.log(("tick", tag, count))
+                if ping and count == 2:
+                    peer = zones[(index + 1) % len(zones)]
+                    api.send(
+                        peer,
+                        {"from": zone, "tag": tag},
+                        delay=api.latency_to(peer),
+                        label=f"ping-{tag}",
+                    )
+                if count < chain_len:
+                    api.after(
+                        step,
+                        lambda: fire(step, priority, tag, ping, count + 1),
+                        priority=priority,
+                    )
+
+            for tag, (zone_index, step, priority, ping) in enumerate(steps):
+                if zone_index % len(zones) != index:
+                    continue
+                api.at(
+                    0.0,
+                    lambda s=step, p=priority, t=tag, g=ping: fire(s, p, t, g, 0),
+                    priority=priority,
+                )
+            return lambda: ("done", zone, api.dispatched_events)
+
+        return factory
+
+    return {zone: make_factory(zone, index) for index, zone in enumerate(zones)}
+
+
+def _run_parallel(zones, programs, workers, **kwargs):
+    engine = ParallelShardedSimulationEngine(
+        _network(zones), programs, workers=workers, **kwargs
+    )
+    engine.run()
+    return engine
+
+
+def _assert_streams_equal(reference, engine, zones):
+    """reference: run_programs_sharded dict; engine: a run parallel engine."""
+    for zone in zones:
+        assert pickle.dumps(reference["logs"][zone]) == pickle.dumps(
+            engine.logs[zone]
+        ), f"zone {zone} log stream diverged"
+        assert reference["results"][zone] == engine.results[zone]
+    assert reference["shard_dispatch_counts"] == engine.shard_dispatch_counts
+
+
+# --------------------------------------------------------------------------
+# Randomized program equivalence (the hypothesis suite ISSUE asks for)
+# --------------------------------------------------------------------------
+
+
+STEP_SPECS = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=3),  # zone index (mod zone count)
+        st.floats(min_value=0.003, max_value=0.04),
+        st.integers(min_value=0, max_value=3),  # priority
+        st.booleans(),  # cross-zone ping at hop 2
+    ),
+    min_size=1,
+    max_size=8,
+)
+
+
+class TestRandomProgramEquivalence:
+    @settings(max_examples=12, deadline=None)
+    @given(steps=STEP_SPECS)
+    def test_two_zone_fork_inline_adapter_identical(self, steps):
+        """Random chain/ping programs: all three flavors, same streams."""
+        zones = ("alpha", "beta")
+        seq = run_programs_sharded(_network(zones), _chain_programs(zones, steps))
+        fork = _run_parallel(zones, _chain_programs(zones, steps), workers=2)
+        inline = _run_parallel(zones, _chain_programs(zones, steps), workers=1)
+        assert fork.stats["mode"] == "fork"
+        assert inline.stats["mode"] == "inline"
+        _assert_streams_equal(seq, fork, zones)
+        _assert_streams_equal(seq, inline, zones)
+        assert fork.now == inline.now == seq["now"]
+        assert fork.dispatched_events == seq["dispatched_events"]
+
+    @settings(max_examples=8, deadline=None)
+    @given(steps=STEP_SPECS)
+    def test_four_zone_lane_placement_never_changes_results(self, steps):
+        """2, 3 or 4 lanes over 4 zones: zones-per-lane is wall-clock only,
+        and every lane count matches the sequential lookahead reference."""
+        zones = ("z0", "z1", "z2", "z3")
+        seq = run_programs_sharded(_network(zones), _chain_programs(zones, steps))
+        runs = {
+            workers: _run_parallel(zones, _chain_programs(zones, steps), workers)
+            for workers in (1, 2, 3, 4)
+        }
+        assert runs[1].stats["mode"] == "inline"
+        for workers, engine in runs.items():
+            if workers > 1:
+                assert engine.stats["mode"] == "fork"
+                assert engine.stats["workers"] == workers
+            _assert_streams_equal(seq, engine, zones)
+            assert engine.now == seq["now"]
+
+
+# --------------------------------------------------------------------------
+# Causality and surface errors: identical in every flavor
+# --------------------------------------------------------------------------
+
+
+def _violating_programs(zones):
+    """Zone 0 sends 1 ms into the future across a 50 ms WAN."""
+
+    def violator(api):
+        api.after(0.01, lambda: api.send(zones[1], "boom", delay=0.001))
+        return None
+
+    def quiet(api):
+        api.on_message(lambda payload: None)
+        api.after(0.01, lambda: None)
+        return None
+
+    return {zones[0]: violator, zones[1]: quiet}
+
+
+class TestCausalityErrors:
+    ZONES = ("alpha", "beta")
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_floor_violation_raises_in_parallel(self, workers):
+        engine = ParallelShardedSimulationEngine(
+            _network(self.ZONES), _violating_programs(self.ZONES), workers=workers
+        )
+        with pytest.raises(SimulationError, match="latency floor"):
+            engine.run()
+
+    def test_floor_violation_raises_in_adapter(self):
+        with pytest.raises(SimulationError, match="latency floor"):
+            run_programs_sharded(
+                _network(self.ZONES), _violating_programs(self.ZONES)
+            )
+
+    def test_floor_violation_message_identical_across_transports(self):
+        """Fork lanes relay SimulationError verbatim over the pipe."""
+        messages = {}
+        for workers in (1, 2):
+            engine = ParallelShardedSimulationEngine(
+                _network(self.ZONES),
+                _violating_programs(self.ZONES),
+                workers=workers,
+            )
+            with pytest.raises(SimulationError) as excinfo:
+                engine.run()
+            messages[workers] = str(excinfo.value)
+        assert messages[1] == messages[2]
+
+    @pytest.mark.parametrize("flavor", ["parallel", "adapter"])
+    def test_self_send_rejected(self, flavor):
+        def selfish(api):
+            api.after(0.01, lambda: api.send("alpha", "hi", delay=1.0))
+            return None
+
+        def quiet(api):
+            api.on_message(lambda payload: None)
+            return None
+
+        programs = {"alpha": selfish, "beta": quiet}
+        with pytest.raises(SimulationError, match="cannot send\\(\\) to itself"):
+            if flavor == "parallel":
+                _run_parallel(self.ZONES, programs, workers=2)
+            else:
+                run_programs_sharded(_network(self.ZONES), programs)
+
+    @pytest.mark.parametrize("flavor", ["parallel", "adapter"])
+    def test_send_argument_validation(self, flavor):
+        captured = {}
+
+        def prober(api):
+            captured["api"] = api
+            api.after(0.01, lambda: None)
+            return None
+
+        def quiet(api):
+            api.on_message(lambda payload: None)
+            return None
+
+        programs = {"alpha": prober, "beta": quiet}
+        if flavor == "parallel":
+            # Inline keeps the api object in-process so we can poke at it.
+            engine = ParallelShardedSimulationEngine(
+                _network(self.ZONES), programs, workers=1
+            )
+            engine.run()
+        else:
+            run_programs_sharded(_network(self.ZONES), programs)
+        api = captured["api"]
+        with pytest.raises(SimulationError, match="unknown zone"):
+            api.send("gamma", "x", delay=1.0)
+        with pytest.raises(SimulationError, match="exactly one of"):
+            api.send("beta", "x", delay=1.0, time=2.0)
+        with pytest.raises(SimulationError, match="exactly one of"):
+            api.send("beta", "x")
+        with pytest.raises(SimulationError, match="cannot schedule directly"):
+            api.at(5.0, lambda: None, shard="beta")
+
+    def test_missing_handler_raises_at_delivery(self):
+        def sender(api):
+            api.after(0.01, lambda: api.send("beta", "hi", delay=LATENCY))
+            return None
+
+        def deaf(api):  # never registers on_message
+            api.after(0.01, lambda: None)
+            return None
+
+        for workers in (1, 2):
+            engine = ParallelShardedSimulationEngine(
+                _network(self.ZONES),
+                {"alpha": sender, "beta": deaf},
+                workers=workers,
+            )
+            with pytest.raises(SimulationError, match="no on_message handler"):
+                engine.run()
+
+
+# --------------------------------------------------------------------------
+# Engine surface: construction validation, until, one-shot
+# --------------------------------------------------------------------------
+
+
+def _noop_programs(zones):
+    def make(zone):
+        def factory(api):
+            api.on_message(lambda payload: None)
+            api.after(0.01, lambda: None)
+            return None
+
+        return factory
+
+    return {zone: make(zone) for zone in zones}
+
+
+class TestEngineSurface:
+    def test_zero_latency_zones_rejected(self):
+        network = NetworkTopology(default_link=Link(latency_s=0.0, bandwidth_bps=1e9))
+        network.add_node("a0", "alpha")
+        network.add_node("b0", "beta")
+        with pytest.raises(SimulationError, match="positive inter-zone latency"):
+            ParallelShardedSimulationEngine(
+                network, _noop_programs(("alpha", "beta"))
+            )
+
+    def test_single_zone_rejected(self):
+        with pytest.raises(SimulationError, match="at least two zones"):
+            ParallelShardedSimulationEngine(
+                _network(("alpha",)), _noop_programs(("alpha",))
+            )
+
+    def test_lookahead_wider_than_latency_rejected(self):
+        with pytest.raises(SimulationError, match="exceeds"):
+            ParallelShardedSimulationEngine(
+                _network(("alpha", "beta")),
+                _noop_programs(("alpha", "beta")),
+                lookahead=LATENCY * 2,
+            )
+
+    def test_empty_programs_rejected(self):
+        with pytest.raises(SimulationError, match="at least one zone"):
+            ParallelShardedSimulationEngine(_network(("alpha", "beta")), {})
+
+    def test_one_shot(self):
+        zones = ("alpha", "beta")
+        engine = _run_parallel(zones, _noop_programs(zones), workers=1)
+        with pytest.raises(SimulationError, match="one-shot"):
+            engine.run()
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_until_clamps_all_clocks_and_matches_reference(self, workers):
+        zones = ("alpha", "beta")
+        steps = [(0, 0.02, 0, False), (1, 0.03, 0, True)]
+        until = 0.07
+        seq = run_programs_sharded(
+            _network(zones), _chain_programs(zones, steps, chain_len=50), until=until
+        )
+        engine = ParallelShardedSimulationEngine(
+            _network(zones), _chain_programs(zones, steps, chain_len=50)
+        )
+        engine.workers = workers
+        end = engine.run(until=until)
+        assert end == until == engine.now
+        assert all(clock == until for clock in engine.shard_clocks.values())
+        _assert_streams_equal(seq, engine, zones)
+
+
+# --------------------------------------------------------------------------
+# Executor workload: the zonal campaign across all three engine flavors
+# --------------------------------------------------------------------------
+
+
+class TestZonalWorkloadEquivalence:
+    def test_small_campaign_identical_across_engines(self):
+        """Real executors (DAG + placement + data plane) inside each zone:
+        the deterministic result document is byte-identical on all three
+        engine flavors."""
+        cfg = ZonalConfig(
+            zones=3, nodes_per_zone=2, cores_per_node=2, tasks_per_zone=30
+        )
+        documents = {}
+        for engine in ("single", "sharded", "parallel"):
+            result, stats = run_zonal(cfg, engine=engine, workers=3)
+            documents[engine] = json.dumps(result, sort_keys=True)
+            if engine == "parallel":
+                assert stats["zones"] == 3
+                assert stats["dispatched_events"] == result["events"]
+        assert documents["single"] == documents["sharded"] == documents["parallel"]

@@ -412,3 +412,62 @@ class TestShardedEngineSurface:
         engine.run()
         assert engine.dispatched_events == 1
         assert engine.lifetime_dispatched == 2
+
+
+# --------------------------------------------------------------------------
+# Quiescence clock (regression: run() must land on the true final time)
+# --------------------------------------------------------------------------
+
+
+class TestQuiescenceClock:
+    """Regression tests for the run-to-quiescence clock.
+
+    A lookahead run used to end with the global clock at the final
+    window's GVT and each drained shard clock wherever its own last event
+    left it — both strictly behind the single-queue engine's final ``now``
+    whenever the last window held more than one event.  That skew let
+    callers schedule "in the past" relative to events already dispatched
+    elsewhere.  ``run()`` now advances every clock to the frontier (the
+    max shard clock) at quiescence; an early ``stop()`` advances only the
+    global clock, because lagging shards may still hold pending events.
+    """
+
+    def test_quiescence_now_matches_single_queue(self):
+        def drive(engine, shard_of):
+            # Both events land inside the final 0.05-wide window, so the
+            # last GVT (7.0) undershoots the last event time (7.03).
+            engine.at(1.0, lambda: None, shard=shard_of("alpha"))
+            engine.at(7.0, lambda: None, shard=shard_of("alpha"))
+            engine.at(7.03, lambda: None, shard=shard_of("beta"))
+            return engine.run()
+
+        single = SimulationEngine()
+        sharded = ShardedSimulationEngine(
+            network=_two_zone_network(), mode="lookahead"
+        )
+        assert drive(single, lambda z: None) == drive(sharded, lambda z: z)
+        assert sharded.now == single.now == 7.03
+
+    @pytest.mark.parametrize("mode", ["coupled", "lookahead"])
+    def test_no_past_scheduling_on_lagging_shard(self, mode):
+        engine = ShardedSimulationEngine(network=_two_zone_network(), mode=mode)
+        engine.at(0.5, lambda: None, shard="beta")
+        engine.at(1.0, lambda: None, shard="alpha")
+        assert engine.run() == 1.0
+        # beta's own last event was at 0.5, but simulation time is 1.0
+        # everywhere now — a 0.75 event would rewrite dispatched history.
+        with pytest.raises(SimulationError):
+            engine.at(0.75, lambda: None, shard="beta")
+
+    @pytest.mark.parametrize("mode", ["coupled", "lookahead"])
+    def test_stop_preserves_pending_shard_events(self, mode):
+        engine = ShardedSimulationEngine(network=_two_zone_network(), mode=mode)
+        fired = []
+        engine.at(1.0, engine.stop, shard="alpha")
+        engine.at(2.0, lambda: fired.append("b"), shard="beta")
+        assert engine.run() == 1.0
+        assert engine.now == 1.0
+        # The stop must not fast-forward beta's shard clock past its own
+        # pending event: resuming still fires it.
+        assert engine.run() == 2.0
+        assert fired == ["b"]

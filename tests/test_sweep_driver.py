@@ -160,3 +160,23 @@ class TestSweepCli:
         assert [r["key"] for r in merged["runs"]] == ["ep-a", "ep-b", "guidance-a"]
         assert all(r["result"]["tasks_done"] > 0 for r in merged["runs"])
         assert all(r["result"]["events"] > 0 for r in merged["runs"])
+
+
+class TestPeakRss:
+    def test_per_run_peak_rss_recorded(self):
+        result = run_sweep(SCENARIOS, toy_runner, workers=2)
+        assert all(t["peak_rss_kb"] > 0 for t in result.stats.per_run)
+        assert result.stats.max_peak_rss_kb == max(
+            t["peak_rss_kb"] for t in result.stats.per_run
+        )
+
+    def test_rss_never_leaks_into_merged_document(self):
+        result = run_sweep(SCENARIOS, toy_runner, workers=2)
+        assert "rss" not in result.merged_json()
+
+    def test_max_peak_rss_defaults_to_zero_without_measurements(self):
+        stats = SweepStats(
+            workers=1, cpus=1, wall_seconds=1.0,
+            total_events=0, total_cpu_seconds=0.0, per_run=[{}],
+        )
+        assert stats.max_peak_rss_kb == 0.0
