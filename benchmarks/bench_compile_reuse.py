@@ -1,0 +1,202 @@
+"""E15 — content-addressed compilation: cross-submission reuse (§VI-C).
+
+The paper's "learning from previous executions" axis, taken to the
+submission path: N tenants submit overlapping analysis pipelines (the
+platform-service shape — many users, one curated dataset, mostly-standard
+parameter choices).  Without content addressing the runtime schedules every
+submitted task; with it (``Runtime(memoizer=..., dedupe=True)``) each
+invocation gets a Merkle-style content key, concurrent identical
+submissions alias onto one in-flight instance, and completed results serve
+later twins straight from the content-keyed cache.
+
+The bench sweeps the overlap fraction (how many of each tenant's pipelines
+draw roots from the shared pool vs tenant-private inputs) and records, for
+dedup off/on: tasks actually executed, wall time, and the alias/cache
+split.  Results must be *byte-identical* between the two modes at every
+overlap — dedup is an optimization, not a semantics change — and at 80%
+overlap the dedup path must execute >= 3x fewer tasks and finish >= 2x
+faster (the CI floor).
+
+There is no pre-PR baseline block: before this PR the runtime had no
+cross-submission reuse, so the dedup-off column *is* the pre-PR behaviour.
+Results land in ``BENCH_compile_reuse.json`` at the repo root.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import time
+
+from _common import bench_scale, print_table
+
+from repro import Runtime, compss_wait_on, task
+from repro.intelligence import TaskMemoizer
+
+RESULTS_PATH = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "..", "BENCH_compile_reuse.json"
+)
+
+#: Distinct values behind the shared dataset: tenants drawing a "standard"
+#: input pick from this many datums, so shared pipelines collide across
+#: (and within) tenants.
+SHARED_POOL = 4
+
+#: Per-task busy time.  Sleep, not spin: simulated compute should overlap
+#: across worker threads exactly like real I/O-bound stages do.
+WORK_S = 0.005
+
+OVERLAPS = (0.0, 0.5, 0.8, 0.95)
+
+#: Appended once per actual task-body execution (list.append is atomic
+#: under the GIL) — the ground truth "scheduled and ran" counter that
+#: aliasing and cache hits must shrink.
+_EXECUTIONS: list = []
+
+
+@task(returns=1, cache=True)
+def stage(value, salt):
+    _EXECUTIONS.append(1)
+    time.sleep(WORK_S)
+    return (value * 31 + salt) % 1_000_003
+
+
+def scale_params():
+    scale = bench_scale()
+    if scale == "smoke":
+        return {"tenants": 6, "pipelines": 10, "depth": 3, "workers": 4}
+    if scale == "large":
+        return {"tenants": 16, "pipelines": 12, "depth": 5, "workers": 8}
+    return {"tenants": 8, "pipelines": 10, "depth": 4, "workers": 4}
+
+
+def pipeline_roots(tenants: int, pipelines: int, overlap: float):
+    """Root input of every (tenant, pipeline), in submission order.
+
+    The first ``overlap`` fraction of each tenant's pipelines read from the
+    shared pool (colliding across tenants and, past the pool size, within a
+    tenant); the rest are tenant-private and collide with nothing.
+    """
+    shared = int(round(pipelines * overlap))
+    roots = []
+    for tenant in range(tenants):
+        for pipeline in range(pipelines):
+            if pipeline < shared:
+                roots.append(100 + (pipeline % SHARED_POOL))
+            else:
+                roots.append(10_000 + tenant * 1_000 + pipeline)
+    return roots
+
+
+def run_point(params: dict, overlap: float, dedupe: bool) -> dict:
+    """All tenants' pipelines through one runtime; returns the measurements."""
+    memoizer = TaskMemoizer() if dedupe else None
+    executed_before = len(_EXECUTIONS)
+    start = time.perf_counter()
+    with Runtime(workers=params["workers"], memoizer=memoizer, dedupe=dedupe) as rt:
+        tails = []
+        for root in pipeline_roots(params["tenants"], params["pipelines"], overlap):
+            value = root
+            for depth in range(params["depth"]):
+                value = stage(value, depth)
+            tails.append(value)
+        results = compss_wait_on(*tails)
+        stats = rt.statistics()
+    wall = time.perf_counter() - start
+    return {
+        "overlap": overlap,
+        "submitted": params["tenants"] * params["pipelines"] * params["depth"],
+        "executed": len(_EXECUTIONS) - executed_before,
+        "aliased": stats["tasks_aliased"],
+        "from_cache": stats["tasks_from_cache"],
+        "wall_seconds": wall,
+        "results_blob": pickle.dumps(results),
+    }
+
+
+def run_sweep(params: dict) -> list:
+    points = []
+    for overlap in OVERLAPS:
+        off = run_point(params, overlap, dedupe=False)
+        on = run_point(params, overlap, dedupe=True)
+        points.append(
+            {
+                "overlap": overlap,
+                "submitted": off["submitted"],
+                "executed_off": off["executed"],
+                "executed_on": on["executed"],
+                "aliased": on["aliased"],
+                "from_cache": on["from_cache"],
+                "wall_off_s": round(off["wall_seconds"], 4),
+                "wall_on_s": round(on["wall_seconds"], 4),
+                "exec_ratio": off["executed"] / max(1, on["executed"]),
+                "wall_ratio": off["wall_seconds"] / max(1e-9, on["wall_seconds"]),
+                "identical": off["results_blob"] == on["results_blob"],
+            }
+        )
+    return points
+
+
+def write_results(params: dict, points: list) -> None:
+    document = {
+        "scale": bench_scale(),
+        "params": params,
+        "work_s": WORK_S,
+        "shared_pool": SHARED_POOL,
+        "points": [
+            {key: value for key, value in point.items()} for point in points
+        ],
+        "note": "dedup-off column is the pre-PR behaviour (no reuse existed)",
+    }
+    with open(RESULTS_PATH, "w") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def test_compile_reuse_speedup_and_equivalence():
+    params = scale_params()
+    points = run_sweep(params)
+    write_results(params, points)
+    print_table(
+        "E15: content-addressed reuse vs overlap "
+        f"({params['tenants']} tenants x {params['pipelines']} pipelines "
+        f"x depth {params['depth']})",
+        ["overlap", "submitted", "exec(off)", "exec(on)", "x-fewer", "x-faster"],
+        [
+            (
+                p["overlap"],
+                p["submitted"],
+                p["executed_off"],
+                p["executed_on"],
+                p["exec_ratio"],
+                p["wall_ratio"],
+            )
+            for p in points
+        ],
+    )
+    for point in points:
+        # Semantics first: every overlap, both modes, same bytes out.
+        assert point["identical"], (
+            f"dedup changed results at overlap={point['overlap']}"
+        )
+        # Dedup never executes more than the submission count.
+        assert point["executed_on"] <= point["executed_off"]
+    at_80 = next(p for p in points if p["overlap"] == 0.8)
+    assert at_80["exec_ratio"] >= 3.0, (
+        f"expected >=3x fewer executed tasks at 80% overlap, got "
+        f"{at_80['exec_ratio']:.2f}x ({at_80['executed_off']} -> "
+        f"{at_80['executed_on']})"
+    )
+    assert at_80["wall_ratio"] >= 2.0, (
+        f"expected >=2x faster at 80% overlap, got {at_80['wall_ratio']:.2f}x "
+        f"({at_80['wall_off_s']:.3f}s -> {at_80['wall_on_s']:.3f}s)"
+    )
+    zero = next(p for p in points if p["overlap"] == 0.0)
+    # No overlap, no reuse: the compile pass must not invent sharing.
+    assert zero["executed_on"] == zero["executed_off"] == zero["submitted"]
+
+
+if __name__ == "__main__":
+    test_compile_reuse_speedup_and_equivalence()
+    print(f"\nresults written to {os.path.abspath(RESULTS_PATH)}")

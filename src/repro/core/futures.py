@@ -23,12 +23,20 @@ class Future:
         datum_id: the data-registry identifier of the value this future will
             hold; the Access Processor uses it to wire dependencies.
         producer_task_id: id of the task instance that produces the value.
+        content_key: Merkle-style content identity of the value, assigned by
+            the workflow compiler when the producing invocation is content
+            addressable (None otherwise).  Set once at submission, before
+            the future escapes the runtime, and never mutated — which is
+            what lets the compiler of a *downstream* call read producer
+            identities off its future arguments without taking the runtime
+            lock.
     """
 
     __slots__ = (
         "future_id",
         "datum_id",
         "producer_task_id",
+        "content_key",
         "_value",
         "_resolved",
         "_error",
@@ -39,6 +47,7 @@ class Future:
         self.future_id = next(_future_ids)
         self.datum_id = datum_id
         self.producer_task_id = producer_task_id
+        self.content_key: Optional[str] = None
         self._value: Any = None
         self._resolved = False
         self._error: Optional[BaseException] = None

@@ -38,19 +38,24 @@ class SimProfile:
     allocator's resident-set cliff (see bench_runtime_scaling).
     """
 
-    __slots__ = ("duration_s", "input_sizes", "output_sizes")
+    __slots__ = ("duration_s", "input_sizes", "output_sizes", "deterministic")
 
     def __init__(
         self,
         duration_s: float = 1.0,
         input_sizes: Optional[Dict[str, float]] = None,
         output_sizes: Optional[Dict[str, float]] = None,
+        deterministic: bool = True,
     ) -> None:
         if duration_s < 0:
             raise ValueError(f"duration_s must be >= 0, got {duration_s}")
         self.duration_s = duration_s
         self.input_sizes = input_sizes if input_sizes is not None else {}
         self.output_sizes = output_sizes if output_sizes is not None else {}
+        # deterministic=False opts the task out of content-addressed dedup
+        # (repro.core.compile): its outputs differ per invocation even for
+        # identical inputs, so two instances must both be scheduled.
+        self.deterministic = deterministic
 
     def __repr__(self) -> str:
         return (
@@ -330,6 +335,32 @@ class TaskGraph:
             self._ready_append(tid)
         else:
             self._pending_count += 1
+
+    def add_completed_task(
+        self,
+        instance: TaskInstance,
+        depends_on: Iterable[int] = (),
+        origin: str = "memo-cache",
+        now: float = 0.0,
+    ) -> None:
+        """Insert a task and complete it in the same breath.
+
+        The cache-hit path of content-addressed compilation: the invocation
+        is real (it appears in the graph, counts as completed, keeps
+        provenance) but its result came from the memoizer, so it never
+        enters the ready queue or touches a worker.  All dependencies must
+        already be DONE — callers check this before choosing the cached
+        path, because a cached value whose producer is still running would
+        let a consumer observe a datum "from the future".
+        """
+        self.add_task(instance, depends_on)
+        if instance.state is not TaskState.READY:
+            raise GraphError(
+                f"add_completed_task({instance.task_id}): dependencies not "
+                "all DONE — cannot serve this task from cache"
+            )
+        self.mark_running(instance.task_id, origin, now)
+        self.mark_done(instance.task_id, now)
 
     # ------------------------------------------------------------ scheduling
 

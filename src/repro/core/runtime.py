@@ -25,6 +25,7 @@ if TYPE_CHECKING:
     from repro.intelligence.memoization import TaskMemoizer
 
 from repro.core.access_processor import AccessProcessor, PreparedTask, RegisteredTask
+from repro.core.compile import WorkflowCompiler
 from repro.core.data import DataRegistry
 from repro.core.exceptions import (
     ReproError,
@@ -82,6 +83,11 @@ class Runtime:
             explicit platform is passed).
         pool_size: thread-pool width of the local executor; defaults to the
             platform's total cores (capped at 128 threads).
+        memoizer: content-keyed result cache consulted at submission; a hit
+            completes the invocation without scheduling it.
+        dedupe: alias concurrent identical submissions onto one scheduled
+            instance (in-flight dedup).  Defaults to "on whenever a
+            memoizer is present"; pass True/False to force either way.
     """
 
     def __init__(
@@ -91,9 +97,16 @@ class Runtime:
         workers: Optional[int] = None,
         pool_size: Optional[int] = None,
         memoizer: Optional["TaskMemoizer"] = None,
+        dedupe: Optional[bool] = None,
     ) -> None:
         self.platform = platform if platform is not None else _make_local_platform(workers)
         self.memoizer = memoizer
+        self.dedupe = dedupe if dedupe is not None else (memoizer is not None)
+        # The compiler assigns Merkle-style content keys at submission; it
+        # exists whenever anything can consume a key (cache or aliasing).
+        self.compiler: Optional[WorkflowCompiler] = (
+            WorkflowCompiler() if (self.dedupe or memoizer is not None) else None
+        )
         self.registry = DataRegistry()
         self.graph = TaskGraph()
         # The AP shares the graph so wide WAR fan-in collapses into
@@ -102,6 +115,15 @@ class Runtime:
         self.scheduler = TaskScheduler(self.platform, policy)
         self._cv = threading.Condition()
         self._result_futures: Dict[int, List[Future]] = {}
+        # In-flight index: content key -> (primary task id, result datum
+        # ids).  A submission whose key is already here never commits — its
+        # futures alias the primary's result datums instead.
+        self._inflight: Dict[str, tuple] = {}
+        # primary task id -> groups of alias futures, one group per aliased
+        # submission (kept separate so per-group arity resolution works).
+        self._alias_futures: Dict[int, List[List[Future]]] = {}
+        self._tasks_aliased = 0
+        self._tasks_from_cache = 0
         # Targeted wakeups: completions only notify when a thread actually
         # waits on the finished task (or on the barrier with the graph
         # drained), so a million unrelated completions wake nobody.
@@ -164,12 +186,11 @@ class Runtime:
             )
         prepared = self.access_processor.prepare_task(definition, args, kwargs)
         self.scheduler.check_satisfiable(prepared.requirements)
+        key = self._compile_key(prepared)
         with self._cv:
-            registered = self.access_processor.commit_task(prepared)
-            if not self._try_memoize(definition, registered):
-                self._track_locked(registered)
+            shaped = self._admit_locked(prepared, key)
             self.executor.kick_locked()
-        return self._shape_returns(definition, registered.futures)
+        return shaped
 
     def submit_many(
         self,
@@ -204,7 +225,7 @@ class Runtime:
             raise RuntimeNotStartedError(
                 f"cannot submit {definition.name!r}: runtime not started"
             )
-        prepared_batch: List[PreparedTask] = []
+        prepared_batch: List[tuple] = []
         last_checked = None
         for call in calls:
             if len(call) == 2 and isinstance(call[1], dict):
@@ -217,14 +238,13 @@ class Runtime:
             if prepared.requirements is not last_checked:
                 self.scheduler.check_satisfiable(prepared.requirements)
                 last_checked = prepared.requirements
-            prepared_batch.append(prepared)
+            # Content keys are pure functions of the prepared call, so the
+            # whole batch compiles outside the lock too.
+            prepared_batch.append((prepared, self._compile_key(prepared)))
         results: List[Any] = []
         with self._cv:
-            for prepared in prepared_batch:
-                registered = self.access_processor.commit_task(prepared)
-                if not self._try_memoize(definition, registered):
-                    self._track_locked(registered)
-                results.append(self._shape_returns(definition, registered.futures))
+            for prepared, key in prepared_batch:
+                results.append(self._admit_locked(prepared, key))
             self.executor.kick_locked()
         return results
 
@@ -266,38 +286,113 @@ class Runtime:
             return futures[0]
         return tuple(futures)
 
-    def _try_memoize(self, definition: TaskDefinition, registered) -> bool:
-        """Resolve futures from the memo cache when possible.
+    def _compile_key(self, prepared: PreparedTask) -> Optional[str]:
+        """Content key of a prepared invocation (runs outside the lock).
 
-        Only pure invocations qualify: the task is declared ``cache=True``,
-        takes no futures, reads/mutates no tracked data, and only produces
-        return values.  On a hit the instance still enters the graph (so
-        statistics and DOT exports see it) but completes instantly.
+        Only ``cache=True`` tasks that return something are compiled: the
+        flag is the determinism contract, and a returnless invocation has
+        nothing to alias or serve.  ``None`` means "not content
+        addressable" — the submission takes the plain scheduling path.
+        """
+        if self.compiler is None:
+            return None
+        definition = prepared.definition
+        if not definition.cache or definition.returns < 1:
+            return None
+        return self.compiler.compile_call(
+            definition, prepared.bound, prepared.requirements
+        )
+
+    def _admit_locked(self, prepared: PreparedTask, key: Optional[str]) -> Any:
+        """Admit one compiled submission: cache hit, alias, or schedule.
+
+        Must run under ``self._cv`` — the lookup/alias/commit sequence is
+        what makes "concurrent identical submissions schedule once" a
+        guarantee instead of a race.
+        """
+        definition = prepared.definition
+        if key is None:
+            if self.memoizer is not None and definition.cache and definition.returns:
+                # Declared cacheable but not content-addressable (opted out):
+                # recorded as a skip, not a miss — no policy could hit it.
+                self.memoizer.lookup(None)
+            registered = self.access_processor.commit_task(prepared)
+            self._track_locked(registered)
+            return self._shape_returns(definition, registered.futures)
+        if self.dedupe:
+            entry = self._inflight.get(key)
+            if entry is not None:
+                return self._alias_locked(definition, key, entry)
+        registered = self.access_processor.commit_task(prepared)
+        instance = registered.instance
+        instance.cache_key = key
+        for index, future in enumerate(registered.futures):
+            future.content_key = WorkflowCompiler.result_key(
+                key, index, definition.returns
+            )
+        # Serve from cache only when every producer already finished: a
+        # cached value whose producer is still running (possible after the
+        # producer's own entry was evicted) must not complete out of order,
+        # and a failed/cancelled producer must poison this task exactly as
+        # it would without a cache.
+        if self.memoizer is not None and self._deps_done_locked(registered.depends_on):
+            hit, value = self.memoizer.lookup(key)
+            if hit:
+                self._complete_from_cache_locked(registered, value)
+                return self._shape_returns(definition, registered.futures)
+        self._track_locked(registered)
+        if self.dedupe and instance.state is not TaskState.CANCELLED:
+            self._inflight[key] = (
+                instance.task_id,
+                tuple(future.datum_id for future in registered.futures),
+            )
+        return self._shape_returns(definition, registered.futures)
+
+    def _deps_done_locked(self, depends_on) -> bool:
+        return all(
+            self.graph.task(dep).state is TaskState.DONE for dep in depends_on
+        )
+
+    def _complete_from_cache_locked(self, registered: RegisteredTask, value: Any) -> None:
+        """Finish an invocation from the memo cache without scheduling it.
+
+        The instance still enters the graph (statistics, DOT exports and
+        provenance see it) but completes in the same breath.
         """
         instance = registered.instance
-        if (
-            self.memoizer is None
-            or not definition.cache
-            or definition.returns == 0
-            or instance.future_args
-            or instance.reads
-            or len(instance.writes) != definition.returns
-        ):
-            return False
-        from repro.intelligence.memoization import memoizable_key
-
-        key = memoizable_key(definition.name, instance.kwargs)
-        instance.cache_key = key
-        hit, value = self.memoizer.lookup(key)
-        if not hit:
-            return False
-        self.graph.add_task(instance, registered.depends_on)
-        self.graph.mark_running(instance.task_id, "memo-cache", now=self.now)
-        self.graph.mark_done(instance.task_id, now=self.now)
+        self.graph.add_completed_task(
+            instance, registered.depends_on, origin="memo-cache", now=self.now
+        )
+        self._tasks_from_cache += 1
         self._resolve_futures(instance, registered.futures, value)
         self.access_processor.release_futures(registered.futures)
+        self._release_payload(instance)
         self._notify_waiters_locked((instance.task_id,))
-        return True
+
+    def _alias_locked(
+        self, definition: TaskDefinition, key: str, entry: tuple
+    ) -> Any:
+        """Alias a duplicate submission onto the in-flight primary.
+
+        No task id is minted and no Access Processor state is touched: the
+        fresh futures point straight at the primary's result datums, so
+        downstream consumers dep on the primary and ``on_task_done`` /
+        ``on_task_failed`` settle them with everyone else.
+        """
+        primary_tid, datum_ids = entry
+        futures: List[Future] = []
+        for index, datum_id in enumerate(datum_ids):
+            future = Future(datum_id=datum_id, producer_task_id=primary_tid)
+            future.content_key = WorkflowCompiler.result_key(
+                key, index, definition.returns
+            )
+            self.access_processor.futures_by_datum.setdefault(datum_id, []).append(
+                future
+            )
+            futures.append(future)
+        self._alias_futures.setdefault(primary_tid, []).append(futures)
+        self._tasks_aliased += 1
+        return self._shape_returns(definition, futures)
 
     # ------------------------------------------------------- synchronization
 
@@ -455,8 +550,15 @@ class Runtime:
             self._resolve_futures(instance, futures, result)
             if futures:
                 self.access_processor.release_futures(futures)
-            if self.memoizer is not None and instance.cache_key is not None:
-                self.memoizer.store(instance.cache_key, result)
+            # Aliased duplicates resolve from the same result, one group at
+            # a time (each group carries its own submission's arity).
+            for group in self._alias_futures.pop(instance.task_id, ()):
+                self._resolve_futures(instance, group, result)
+                self.access_processor.release_futures(group)
+            if instance.cache_key is not None:
+                self._drop_inflight_locked(instance.task_id, instance.cache_key)
+                if self.memoizer is not None:
+                    self.memoizer.store(instance.cache_key, result)
             self._release_payload(instance)
             self.executor.kick_locked()
             self._notify_waiters_locked((instance.task_id,))
@@ -473,9 +575,24 @@ class Runtime:
                     future.fail(failure)
                 if futures:
                     self.access_processor.release_futures(futures)
-                self._release_payload(self.graph.task(tid))
+                for group in self._alias_futures.pop(tid, ()):
+                    for future in group:
+                        future.fail(failure)
+                    self.access_processor.release_futures(group)
+                failed_instance = self.graph.task(tid)
+                if failed_instance.cache_key is not None:
+                    # The key must stop matching new submissions (they'd
+                    # alias a corpse) and — because store() only runs in
+                    # on_task_done — is never served from the cache either.
+                    self._drop_inflight_locked(tid, failed_instance.cache_key)
+                self._release_payload(failed_instance)
             self.executor.kick_locked()
             self._notify_waiters_locked((instance.task_id, *cancelled))
+
+    def _drop_inflight_locked(self, task_id: int, cache_key: str) -> None:
+        entry = self._inflight.get(cache_key)
+        if entry is not None and entry[0] == task_id:
+            del self._inflight[cache_key]
 
     def _resolve_futures(
         self, instance: TaskInstance, futures, result: Any
@@ -525,7 +642,7 @@ class Runtime:
     def statistics(self) -> Dict[str, Any]:
         """A snapshot of runtime counters (diagnostics, tests, benches)."""
         with self._cv:
-            return {
+            stats = {
                 "tasks_total": self.graph.task_count,
                 "tasks_done": self.graph.completed_count,
                 "tasks_failed": self.graph.failed_count,
@@ -533,7 +650,15 @@ class Runtime:
                 "tasks_running": self.graph.running_count,
                 "tasks_ready": self.graph.ready_count,
                 "total_cores": self.platform.total_cores,
+                # Content-addressed compilation: invocations that never
+                # reached a worker because an in-flight twin (aliased) or a
+                # cached result (from_cache) stood in for them.
+                "tasks_aliased": self._tasks_aliased,
+                "tasks_from_cache": self._tasks_from_cache,
             }
+            if self.memoizer is not None:
+                stats["memo"] = self.memoizer.stats()
+            return stats
 
 
 # ----------------------------------------------------------------- module API

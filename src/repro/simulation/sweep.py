@@ -112,6 +112,29 @@ class SweepStats:
             default=0.0,
         )
 
+    def _sum_per_run(self, key: str) -> float:
+        return sum(float(run.get(key, 0.0)) for run in self.per_run)
+
+    @property
+    def total_cache_hits(self) -> float:
+        """Content-cache hits (deduped tasks) summed across the fleet.
+
+        Runners report per-worker cache counters through the ``_stats``
+        channel (``cache_hits`` / ``cache_skipped`` / ``cache_evictions``);
+        runs without a cache contribute zero.
+        """
+        return self._sum_per_run("cache_hits")
+
+    @property
+    def total_cache_skipped(self) -> float:
+        """Invocations that opted out of content addressing, fleet-wide."""
+        return self._sum_per_run("cache_skipped")
+
+    @property
+    def total_cache_evictions(self) -> float:
+        """Cache evictions across the fleet (budget pressure indicator)."""
+        return self._sum_per_run("cache_evictions")
+
     def aggregate_events_per_sec(self, basis: str = "cpu") -> float:
         """Aggregate events/sec of the sweep fleet.
 

@@ -19,6 +19,7 @@ from repro.storage.interface import (
     StorageRuntime,
     get_storage_runtime,
     set_storage_runtime,
+    content_fingerprint,
     estimate_size,
     estimate_size_digest,
 )
@@ -31,6 +32,7 @@ __all__ = [
     "StorageRuntime",
     "get_storage_runtime",
     "set_storage_runtime",
+    "content_fingerprint",
     "estimate_size",
     "estimate_size_digest",
     "ConsistentHashRing",

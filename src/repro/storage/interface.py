@@ -10,6 +10,7 @@ the locality of the data." (§VI-A1)
 
 from __future__ import annotations
 
+import hashlib
 import itertools
 import pickle
 import sys
@@ -75,6 +76,26 @@ def estimate_size_digest(obj: Any) -> Tuple[int, Optional[int]]:
     except Exception:
         return (_shallow_size(obj), None)
     return (len(payload), zlib.crc32(payload))
+
+
+def content_fingerprint(obj: Any) -> Tuple[int, Optional[str]]:
+    """``(size, collision-resistant digest)`` from a single serialization pass.
+
+    The cache-key sibling of :func:`estimate_size_digest`: same pickle-once
+    discipline, but the digest is a 128-bit blake2b hex string instead of a
+    CRC32, because consumers (the task memoizer, the workflow compiler's
+    content keys) serve *values* under this identity — a 32-bit checksum
+    collision would silently return the wrong result, where the replica-sync
+    CRC merely triggers a redundant copy.  The digest is None for
+    unpicklable objects, which callers must treat as "not content
+    addressable"; the size is still the shallow estimate so byte accounting
+    stays proportional either way.
+    """
+    try:
+        payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception:
+        return (_shallow_size(obj), None)
+    return (len(payload), hashlib.blake2b(payload, digest_size=16).hexdigest())
 
 
 class StorageBackend(Protocol):

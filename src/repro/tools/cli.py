@@ -123,10 +123,18 @@ def cmd_info(args: argparse.Namespace, out) -> int:
 
 def cmd_simulate(args: argparse.Namespace, out) -> int:
     builder, initial_data = _build_workload(args)
+    graph = builder.graph
+    compile_stats = None
+    if args.dedupe:
+        from repro.core.compile import compile_graph
+
+        compiled = compile_graph(graph, initial_data)
+        graph = compiled.graph
+        compile_stats = compiled.stats
     platform = make_hpc_cluster(args.nodes, cores_per_node=args.cores_per_node)
     locations = DataLocationService()
     executor = SimulatedExecutor(
-        builder.graph,
+        graph,
         platform,
         policy=_make_policy(args.policy, locations),
         engine=_make_engine(args.engine, platform),
@@ -138,6 +146,13 @@ def cmd_simulate(args: argparse.Namespace, out) -> int:
     print(f"platform : {args.nodes} nodes x {args.cores_per_node} cores", file=out)
     print(f"policy   : {args.policy}", file=out)
     print(f"engine   : {args.engine}", file=out)
+    if compile_stats is not None:
+        print(
+            f"dedupe   : {compile_stats.tasks_in} -> {compile_stats.tasks_out} "
+            f"tasks ({compile_stats.deduped} deduped, "
+            f"{compile_stats.opted_out} opted out)",
+            file=out,
+        )
     print(f"makespan : {report.makespan:.1f} s ({report.makespan / 3600:.2f} h)", file=out)
     print(f"moved    : {report.bytes_transferred / 1e9:.2f} GB", file=out)
     print(f"energy   : {report.energy_joules / 3.6e6:.3f} kWh", file=out)
@@ -176,7 +191,9 @@ def cmd_timeline(args: argparse.Namespace, out) -> int:
     return 0
 
 
-def simulate_scenario_runner(scenario: dict, seed: int, engine: str = "single") -> dict:
+def simulate_scenario_runner(
+    scenario: dict, seed: int, engine: str = "single", dedupe: bool = False
+) -> dict:
     """Sweep runner: one ``simulate``-style run from a scenario dict.
 
     Module-level (worker processes resolve it by reference) and
@@ -192,9 +209,15 @@ def simulate_scenario_runner(scenario: dict, seed: int, engine: str = "single") 
     ``tests/test_cli.py`` asserts.  The ``zonal`` workload (decomposed
     multi-zone programs) additionally accepts ``parallel``; a scenario's
     own ``engine`` field, if present, wins over the flag.
+
+    ``dedupe`` compiles the built graph through content-addressed dedup
+    (:func:`repro.core.compile.compile_graph`) before execution; a
+    scenario's own ``dedupe`` field wins over the flag.  The compile
+    counters ride the ``_stats`` channel into the sweep's per-run stats.
     """
     workload_name = scenario.get("workload", "guidance")
     engine = scenario.get("engine", engine)
+    dedupe = bool(scenario.get("dedupe", dedupe))
     nodes = int(scenario.get("nodes", 4))
     cores_per_node = int(scenario.get("cores_per_node", 48))
     policy_name = scenario.get("policy", "load-balancing")
@@ -248,6 +271,13 @@ def simulate_scenario_runner(scenario: dict, seed: int, engine: str = "single") 
         graph, initial_data = builder.graph, builder.initial_data
     else:
         raise ValueError(f"unknown workload {workload_name!r}")
+    compile_stats = None
+    if dedupe:
+        from repro.core.compile import compile_graph
+
+        compiled = compile_graph(graph, initial_data)
+        graph = compiled.graph
+        compile_stats = compiled.stats
     platform = make_hpc_cluster(nodes, cores_per_node=cores_per_node)
     locations = DataLocationService()
     executor = SimulatedExecutor(
@@ -259,7 +289,7 @@ def simulate_scenario_runner(scenario: dict, seed: int, engine: str = "single") 
         initial_data=initial_data,
     )
     report = executor.run()
-    return {
+    result = {
         "workload": workload_name,
         "tasks_done": report.tasks_done,
         "tasks_failed": report.tasks_failed,
@@ -268,6 +298,13 @@ def simulate_scenario_runner(scenario: dict, seed: int, engine: str = "single") 
         "energy_joules": report.energy_joules,
         "events": executor.engine.dispatched_events,
     }
+    if compile_stats is not None:
+        # Deduped count is seed-determined (same scenario -> same graph ->
+        # same merge), so it may live in the deterministic document; the
+        # per-worker cache counters ride the stripped ``_stats`` channel.
+        result["tasks_deduped"] = compile_stats.deduped
+        result["_stats"] = compile_stats.as_stats()
+    return result
 
 
 def cmd_sweep(args: argparse.Namespace, out) -> int:
@@ -281,12 +318,15 @@ def cmd_sweep(args: argparse.Namespace, out) -> int:
     if not isinstance(scenarios, list):
         raise SystemExit("--scenarios must be a JSON list of scenario objects")
     runner = simulate_scenario_runner
-    if args.engine != "single":
-        # partial (module-level function + plain string) stays picklable
-        # for forked workers, and — unlike injecting an ``engine`` field
-        # into the scenario dicts — leaves scenario keys, derived seeds,
-        # and the merged document untouched.
-        runner = functools.partial(simulate_scenario_runner, engine=args.engine)
+    if args.engine != "single" or args.dedupe:
+        # partial (module-level function + plain strings/bools) stays
+        # picklable for forked workers, and — unlike injecting fields into
+        # the scenario dicts — leaves scenario keys and derived seeds
+        # untouched (the engine also leaves the merged document untouched;
+        # --dedupe changes results by design: fewer scheduled tasks).
+        runner = functools.partial(
+            simulate_scenario_runner, engine=args.engine, dedupe=args.dedupe
+        )
     result = run_sweep(
         scenarios,
         runner,
@@ -310,6 +350,13 @@ def cmd_sweep(args: argparse.Namespace, out) -> int:
         file=out,
     )
     print(f"peak rss : {stats.max_peak_rss_kb / 1024:.0f} MB/worker", file=out)
+    if args.dedupe or stats.total_cache_hits or stats.total_cache_skipped:
+        print(
+            f"reuse    : {stats.total_cache_hits:.0f} hits, "
+            f"{stats.total_cache_skipped:.0f} skipped, "
+            f"{stats.total_cache_evictions:.0f} evictions",
+            file=out,
+        )
     return 0
 
 
@@ -354,6 +401,12 @@ def build_parser() -> argparse.ArgumentParser:
         default="single",
         help="execution engine (results are engine-independent)",
     )
+    simulate.add_argument(
+        "--dedupe",
+        action="store_true",
+        help="content-addressed compilation: merge identical subgraphs "
+        "before execution (fewer scheduled tasks, same data products)",
+    )
 
     analyze = subparsers.add_parser("analyze", help="print workflow-model metrics")
     add_workload_options(analyze)
@@ -387,6 +440,12 @@ def build_parser() -> argparse.ArgumentParser:
         default="single",
         help="replay every scenario on this engine (merged document is "
         "engine-independent; 'parallel' needs the zonal workload)",
+    )
+    sweep.add_argument(
+        "--dedupe",
+        action="store_true",
+        help="compile every scenario's graph through content-addressed "
+        "dedup before execution (cache counters land in the stats block)",
     )
     sweep.add_argument(
         "--out", default=None, help="write the merged document here (else stdout)"

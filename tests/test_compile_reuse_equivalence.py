@@ -1,0 +1,254 @@
+"""Equivalence suite for content-addressed compilation (hypothesis).
+
+Dedup is an optimization, never a semantics change: randomized batches of
+overlapping task chains must produce byte-identical outcomes with dedup on
+vs off — including failure paths (a deterministically-raising task fails
+its consumers identically either way, and its content key is never served
+from the cache).  The same property holds one layer down for
+:func:`repro.core.compile.compile_graph` on built simulation workflows.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Runtime, compss_wait_on, task
+from repro.core.compile import compile_graph
+from repro.core.exceptions import TaskFailedError
+from repro.executor import SimulatedExecutor, SimWorkflowBuilder
+from repro.infrastructure import make_hpc_cluster
+from repro.intelligence import TaskMemoizer
+
+
+@task(returns=1, cache=True)
+def step(x, salt):
+    # Deterministic poison: certain (value, stage) pairs always raise, so
+    # failure locations are input-determined and must match across modes.
+    if x % 7 == 3 and salt == 1:
+        raise ValueError(f"poison {x}")
+    return (x * 3 + salt) % 9973
+
+
+def _run_batch(chains, dedupe: bool) -> bytes:
+    """Run overlapping chains through one runtime; pickle the outcomes.
+
+    Failures are recorded as a bare ``("failed",)`` marker: *which* chains
+    fail is deterministic, but whether a downstream task is cancelled
+    before or after submission (and hence its recorded cause) races with
+    the executor in both modes alike.
+    """
+    outcomes = []
+    memoizer = TaskMemoizer() if dedupe else None
+    with Runtime(workers=4, memoizer=memoizer, dedupe=dedupe):
+        tails = []
+        for root, depth in chains:
+            value = root
+            for salt in range(depth):
+                value = step(value, salt)
+            tails.append(value)
+        for future in tails:
+            try:
+                outcomes.append(("ok", compss_wait_on(future)))
+            except TaskFailedError:
+                outcomes.append(("failed",))
+    return pickle.dumps(outcomes)
+
+
+class TestRuntimeEquivalence:
+    @given(
+        chains=st.lists(
+            st.tuples(st.integers(0, 5), st.integers(1, 3)),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_overlapping_batches_byte_identical(self, chains):
+        assert _run_batch(chains, dedupe=False) == _run_batch(chains, dedupe=True)
+
+    def test_submit_many_inflight_aliasing(self):
+        executions = []
+
+        @task(returns=1, cache=True)
+        def slow_identity(x):
+            executions.append(x)
+            time.sleep(0.05)
+            return x
+
+        with Runtime(workers=4, memoizer=TaskMemoizer()) as runtime:
+            futures = runtime.submit_many(slow_identity, [((7,), {})] * 5)
+            values = compss_wait_on(*futures)
+            stats = runtime.statistics()
+        assert values == [7] * 5
+        assert executions == [7]
+        assert stats["tasks_aliased"] == 4
+        assert stats["tasks_total"] == 1
+
+    def test_multi_return_aliases_keep_arity(self):
+        @task(returns=2, cache=True)
+        def pair(x):
+            time.sleep(0.03)
+            return x, x + 1
+
+        with Runtime(workers=4, memoizer=TaskMemoizer()) as runtime:
+            a1, a2 = pair(3)
+            b1, b2 = pair(3)
+            values = compss_wait_on(a1, a2, b1, b2)
+            stats = runtime.statistics()
+        assert values == [3, 4, 3, 4]
+        assert stats["tasks_aliased"] == 1
+        # Per-output content keys stay distinguishable on a multi-return.
+        assert a1.content_key != a2.content_key
+        assert a1.content_key == b1.content_key
+
+    def test_aliased_duplicates_fail_together(self):
+        @task(returns=1, cache=True)
+        def boom(x):
+            time.sleep(0.05)
+            raise ValueError("kaboom")
+
+        with Runtime(workers=2, memoizer=TaskMemoizer()) as runtime:
+            first = boom(1)
+            second = boom(1)
+            with pytest.raises(TaskFailedError):
+                compss_wait_on(first)
+            with pytest.raises(TaskFailedError):
+                compss_wait_on(second)
+            stats = runtime.statistics()
+        assert stats["tasks_aliased"] == 1
+        assert stats["tasks_failed"] == 1
+
+    def test_failed_key_is_never_served_from_cache(self):
+        calls = []
+
+        @task(returns=1, cache=True)
+        def flaky(x):
+            calls.append(x)
+            raise ValueError("always")
+
+        with Runtime(workers=2, memoizer=TaskMemoizer()) as runtime:
+            # Sequential (wait between) so the second submission cannot
+            # alias the first in flight: it must probe the cache and miss.
+            with pytest.raises(TaskFailedError):
+                compss_wait_on(flaky(9))
+            with pytest.raises(TaskFailedError):
+                compss_wait_on(flaky(9))
+            stats = runtime.statistics()
+        assert calls == [9, 9]
+        assert stats["tasks_from_cache"] == 0
+        assert stats["tasks_aliased"] == 0
+
+
+def _build_tenants(
+    tenants: int, stages: int, deterministic: bool = True
+) -> SimWorkflowBuilder:
+    """N identical per-tenant pipelines off one shared initial datum."""
+    builder = SimWorkflowBuilder()
+    builder.add_initial_datum("shared-in", 1e6)
+    for tenant in range(tenants):
+        previous = "shared-in"
+        for stage in range(stages):
+            name = f"t{tenant}/d{stage}"
+            builder.add_task(
+                f"t{tenant}-s{stage}",
+                duration=1.0 + stage,
+                inputs=[previous],
+                outputs={name: 1e5},
+                deterministic=deterministic,
+            )
+            previous = name
+    return builder
+
+
+def _run_sim(graph, initial_data):
+    platform = make_hpc_cluster(2, cores_per_node=8)
+    return SimulatedExecutor(graph, platform, initial_data=initial_data).run()
+
+
+class TestGraphCompileEquivalence:
+    @given(tenants=st.integers(1, 4), stages=st.integers(1, 4))
+    @settings(max_examples=10, deadline=None)
+    def test_identical_tenants_collapse_to_one(self, tenants, stages):
+        one = _build_tenants(1, stages)
+        many = _build_tenants(tenants, stages)
+        compiled_one = compile_graph(one.graph, one.initial_data)
+        compiled_many = compile_graph(many.graph, many.initial_data)
+        assert compiled_many.stats.tasks_out == compiled_one.stats.tasks_out == stages
+        assert compiled_many.stats.deduped == (tenants - 1) * stages
+        report_one = _run_sim(compiled_one.graph, one.initial_data)
+        report_many = _run_sim(compiled_many.graph, many.initial_data)
+        assert report_many.makespan == report_one.makespan
+
+    @given(stages=st.integers(1, 4))
+    @settings(max_examples=10, deadline=None)
+    def test_disjoint_tenants_share_nothing(self, stages):
+        # Tenant-private initial datums: same shapes, different data
+        # identities — the compile pass must not invent sharing.
+        builder = SimWorkflowBuilder()
+        for tenant in range(3):
+            root = f"t{tenant}/in"
+            builder.add_initial_datum(root, 1e6)
+            previous = root
+            for stage in range(stages):
+                name = f"t{tenant}/d{stage}"
+                builder.add_task(
+                    f"t{tenant}-s{stage}",
+                    duration=1.0,
+                    inputs=[previous],
+                    outputs={name: 1e5},
+                )
+                previous = name
+        compiled = compile_graph(builder.graph, builder.initial_data)
+        assert compiled.stats.deduped == 0
+        assert compiled.stats.tasks_out == 3 * stages
+
+    def test_rebuild_without_dedupe_preserves_behavior(self):
+        builder = _build_tenants(3, 3)
+        baseline = _run_sim(builder.graph, builder.initial_data)
+        rebuilt = _build_tenants(3, 3)
+        compiled = compile_graph(rebuilt.graph, rebuilt.initial_data, dedupe=False)
+        assert compiled.stats.deduped == 0
+        report = _run_sim(compiled.graph, rebuilt.initial_data)
+        assert report.makespan == baseline.makespan
+        assert report.tasks_done == baseline.tasks_done
+
+    def test_nondeterministic_tasks_never_dedup(self):
+        builder = _build_tenants(3, 2, deterministic=False)
+        compiled = compile_graph(builder.graph, builder.initial_data)
+        assert compiled.stats.deduped == 0
+        assert compiled.stats.opted_out == 6
+        assert compiled.stats.tasks_out == 6
+
+    def test_war_rewrite_opts_out_and_preserves_behavior(self):
+        def build():
+            builder = SimWorkflowBuilder()
+            builder.add_initial_datum("d", 1e6)
+            builder.add_task("r1", duration=2.0, inputs=["d"])
+            builder.add_task("r2", duration=2.0, inputs=["d"])
+            builder.add_task("w", duration=1.0, inputs=["d"], outputs={"d": 2e6})
+            builder.add_task("after1", duration=3.0, inputs=["d"])
+            builder.add_task("after2", duration=3.0, inputs=["d"])
+            return builder
+
+        baseline = build()
+        baseline_report = _run_sim(baseline.graph, baseline.initial_data)
+        builder = build()
+        compiled = compile_graph(builder.graph, builder.initial_data)
+        # The WAR/WAW rewriter cannot be content-addressed (its extra
+        # reader/writer edges are not data-derived), but the identical
+        # readers on either side of it still merge.
+        assert compiled.stats.opted_out == 1
+        assert compiled.stats.deduped == 2
+        report = _run_sim(compiled.graph, builder.initial_data)
+        assert report.makespan == baseline_report.makespan
+
+    def test_compile_rejects_executed_graphs(self):
+        builder = _build_tenants(1, 1)
+        _run_sim(builder.graph, builder.initial_data)
+        with pytest.raises(ValueError):
+            compile_graph(builder.graph, builder.initial_data)

@@ -100,6 +100,69 @@ class TestTaskMemoizer:
         assert memo.lookup(keys[0]) == (False, None)
         assert memo.lookup(keys[2]) == (True, 2)
 
+    def test_positional_args_distinguish_keys(self):
+        # Regression: positional arguments must participate in the digest.
+        assert memoizable_key("f", {}, args=(1, 2)) != memoizable_key(
+            "f", {}, args=(2, 1)
+        )
+        assert memoizable_key("f", {}, args=(1, 2)) == memoizable_key(
+            "f", {}, args=(1, 2)
+        )
+        # A positional 1 and a keyword x=1 are different invocations.
+        assert memoizable_key("f", {}, args=(1,)) != memoizable_key("f", {"x": 1})
+
+    def test_lookup_none_counts_skipped_not_missed(self):
+        memo = TaskMemoizer()
+        memo.lookup(None)
+        memo.lookup(None)
+        assert memo.skipped == 2
+        assert memo.misses == 0
+        # Skips are excluded from the hit rate: no cache policy could ever
+        # convert an unaddressable invocation into a hit.
+        assert memo.hit_rate == 0.0
+
+    def test_stats_snapshot(self):
+        memo = TaskMemoizer()
+        key = memoizable_key("f", {"x": 1})
+        memo.lookup(key)  # miss
+        memo.store(key, "value")
+        memo.lookup(key)  # hit
+        memo.lookup(None)  # skip
+        stats = memo.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["skipped"] == 1
+        assert stats["evictions"] == 0
+        assert stats["entries"] == 1
+        assert stats["bytes"] > 0
+        assert stats["hit_rate"] == pytest.approx(0.5)
+        assert memo.key_stats(key) == {
+            "hits": 1,
+            "size_bytes": stats["bytes"],
+        }
+
+    def test_lru_lookup_refreshes_recency(self):
+        memo = TaskMemoizer(max_entries=2)
+        keys = [memoizable_key("f", {"x": i}) for i in range(3)]
+        memo.store(keys[0], 0)
+        memo.store(keys[1], 1)
+        memo.lookup(keys[0])  # refresh: keys[1] is now least recently used
+        memo.store(keys[2], 2)
+        assert memo.lookup(keys[0]) == (True, 0)
+        assert memo.lookup(keys[1]) == (False, None)
+        assert memo.evictions == 1
+
+    def test_byte_budget_eviction(self):
+        memo = TaskMemoizer(max_bytes=1)
+        keys = [memoizable_key("f", {"x": i}) for i in range(2)]
+        memo.store(keys[0], "a" * 64)
+        memo.store(keys[1], "b" * 64)
+        # Over budget: older entry evicted, the newest always survives.
+        assert len(memo) == 1
+        assert memo.lookup(keys[1]) == (True, "b" * 64)
+        assert memo.evictions == 1
+        assert memo.total_bytes == memo.key_stats(keys[1])["size_bytes"]
+
 
 class TestRuntimeMemoization:
     def test_cached_task_runs_once(self):
@@ -142,9 +205,27 @@ class TestRuntimeMemoization:
 
         with Runtime(workers=2, memoizer=TaskMemoizer()):
             a = fn(1)
-            b = fn(a)  # argument is a future: not memoizable
+            # The future argument gives fn(a) a *different* content key
+            # than fn(1) (derived from the producer's key), so it runs.
+            b = fn(a)
             assert compss_wait_on(b) == 3
         assert len(calls) == 2
+
+    def test_swapped_positionals_not_conflated(self):
+        calls = []
+
+        @task(returns=1, cache=True)
+        def g(a, b):
+            calls.append((a, b))
+            return a - b
+
+        with Runtime(workers=2, memoizer=TaskMemoizer()):
+            assert compss_wait_on(g(5, 3)) == 2
+            assert compss_wait_on(g(3, 5)) == -2
+            # Keyword spelling of an earlier positional call is the same
+            # invocation: served from the cache, not re-executed.
+            assert compss_wait_on(g(b=3, a=5)) == 2
+        assert calls == [(5, 3), (3, 5)]
 
     def test_memo_hits_visible_in_statistics(self):
         @task(returns=1, cache=True)
