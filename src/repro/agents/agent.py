@@ -97,6 +97,12 @@ class Agent(ServiceMixin):
         self._peers: Dict[str, PeerInfo] = {}
         self._policy: OffloadingPolicy = NeverOffload()
         self._in_flight: Dict[int, _InFlight] = {}
+        # Secondary indexes so an AGENT_DOWN notice costs O(state at the
+        # dead agent), not O(all in-flight + all data).  Inner dicts are
+        # insertion-ordered sets (iteration order = dispatch/publish order,
+        # matching what the flat scans used to produce).
+        self._in_flight_by_executor: Dict[str, Dict[int, None]] = {}
+        self._home_index: Dict[str, Dict[str, None]] = {}
         self._local_outstanding = 0
         self._datum_home: Dict[str, str] = {}
         self._datum_size: Dict[str, float] = {}
@@ -152,9 +158,14 @@ class Agent(ServiceMixin):
                 speed_factor=peer.speed_factor,
                 kind=peer.kind,
                 outstanding=0,
+                zone=self.bus.zone_of_agent(peer_name),
             )
+            # Subscribe to the peer's death notice before any message flows:
+            # under interest-scoped failure notification a peer dying between
+            # Start Application and the first dispatch is still detected.
+            self.bus.watch(self.name, peer_name)
         for datum, size in (initial_data or {}).items():
-            self._datum_home[datum] = self.name
+            self._set_datum_home(datum, self.name)
             self._datum_size[datum] = size
             if self.persistence_store_node is not None:
                 self._datum_persisted.add(datum)
@@ -188,11 +199,27 @@ class Agent(ServiceMixin):
             else:
                 self._peers[target].outstanding += 1
 
+    def _set_datum_home(self, datum: str, home: str) -> None:
+        old = self._datum_home.get(datum)
+        if old is not None and old != home:
+            index = self._home_index.get(old)
+            if index is not None:
+                index.pop(datum, None)
+        self._datum_home[datum] = home
+        index = self._home_index.get(home)
+        if index is None:
+            index = self._home_index[home] = {}
+        index[datum] = None
+
     def _send_task(self, task: TaskInstance, target: str) -> None:
         assert self.graph is not None
         self.graph.mark_running(task.task_id, target, now=self.engine.now)
         task.assigned_nodes = [target]
         self._in_flight[task.task_id] = _InFlight(task=task, executor=target)
+        by_executor = self._in_flight_by_executor.get(target)
+        if by_executor is None:
+            by_executor = self._in_flight_by_executor[target] = {}
+        by_executor[task.task_id] = None
 
         profile = task.profile
         input_specs = []
@@ -235,6 +262,9 @@ class Agent(ServiceMixin):
         flight = self._in_flight.pop(task_id, None)
         if flight is None:
             return  # duplicate completion after recovery re-dispatch
+        by_executor = self._in_flight_by_executor.get(flight.executor)
+        if by_executor is not None:
+            by_executor.pop(task_id, None)
         if executor == self.name:
             self._local_outstanding = max(0, self._local_outstanding - 1)
         elif executor in self._peers:
@@ -242,7 +272,7 @@ class Agent(ServiceMixin):
                 0, self._peers[executor].outstanding - 1
             )
         for datum, size in message.payload.get("outputs", {}).items():
-            self._datum_home[datum] = executor
+            self._set_datum_home(datum, executor)
             self._datum_size[datum] = size
             if message.payload.get("persisted", False):
                 self._datum_persisted.add(datum)
@@ -255,17 +285,24 @@ class Agent(ServiceMixin):
 
     def _on_agent_down(self, message: Message) -> None:
         dead = message.payload["agent"]
-        self._peers.pop(dead, None)
+        peer_dropped = self._peers.pop(dead, None) is not None
         if self.graph is None:
             return
-        victims = [f for f in self._in_flight.values() if f.executor == dead]
+        # O(state at the dead agent): the executor/home indexes hand us the
+        # affected flights and data directly, and an uninvolved orchestrator
+        # (nothing in flight there, nothing homed there) exits immediately —
+        # no O(in-flight) or O(data) scan per death.
+        flights = self._in_flight_by_executor.pop(dead, None)
+        homed = self._home_index.pop(dead, None)
+        if not peer_dropped and not flights and not homed:
+            return
         lost_data = {
-            datum
-            for datum, home in self._datum_home.items()
-            if home == dead and datum not in self._datum_persisted
+            datum for datum in (homed or ()) if datum not in self._datum_persisted
         }
-        for flight in victims:
-            del self._in_flight[flight.task.task_id]
+        for task_id in flights or ():
+            flight = self._in_flight.pop(task_id, None)
+            if flight is None:
+                continue
             task = flight.task
             if any(d in lost_data for d in task.reads):
                 self._fail_application(
@@ -275,13 +312,14 @@ class Agent(ServiceMixin):
             self.graph.requeue(task.task_id)
             self.tasks_recovered += 1
         # Data produced by the dead agent that future tasks need:
-        for task in self.graph.tasks:
-            if task.state in (TaskState.PENDING, TaskState.READY):
-                if any(d in lost_data for d in task.reads):
-                    self._fail_application(
-                        f"task {task.label} inputs lost with agent {dead}"
-                    )
-                    return
+        if lost_data:
+            for task in self.graph.tasks:
+                if task.state in (TaskState.PENDING, TaskState.READY):
+                    if any(d in lost_data for d in task.reads):
+                        self._fail_application(
+                            f"task {task.label} inputs lost with agent {dead}"
+                        )
+                        return
         self._dispatch()
 
     def _fail_application(self, reason: str) -> None:
@@ -445,6 +483,9 @@ class Agent(ServiceMixin):
         self.graph = None
         self._peers = {}
         self._in_flight = {}
+        self._in_flight_by_executor = {}
+        # _home_index stays: it mirrors _datum_home, which outlives the
+        # application (data published by one app can seed the next).
         self._local_outstanding = 0
         self.app_start = None
         self.app_end = None

@@ -2,14 +2,32 @@
 
 Delivery takes the virtual time the platform's network model charges for the
 message's payload between the two agents' nodes.  The bus doubles as the
-failure detector: killing an agent broadcasts ``AGENT_DOWN`` notices to the
-survivors (a perfect failure detector — the strongest assumption, stated
-explicitly in DESIGN.md's substitution table).
+failure detector.  Two notification models are supported:
+
+* ``interest`` (default) — when an agent dies, only its *interest set* is
+  notified: the peers that have exchanged messages with it plus any explicit
+  :meth:`watch` subscribers.  Every other agent learns of the death lazily,
+  by reconciling against the per-zone membership-epoch digest
+  (:meth:`membership_epoch` / :meth:`changes_since`).  Per-death cost is
+  O(interest set), not O(agents) — the property that lets a ~50k-agent
+  continuum sustain 1%/s churn at flat per-event cost.
+* ``broadcast`` — the original perfect-failure-detector reference: one
+  ``AGENT_DOWN`` notice per survivor per death (O(agents²) under churn).
+  Kept as the equivalence baseline; ``tests/test_churn_equivalence.py``
+  proves both models produce identical orchestration outcomes.
+
+The substitution is semantics-preserving because every agent that would have
+*acted* on an ``AGENT_DOWN`` notice — an orchestrator with the dead agent in
+its peer set, with tasks in flight there, or with data homed there — has
+necessarily either exchanged messages with it or watched it, so it is in the
+interest set and still hears about the death one control-message hop after
+it happens, exactly as under broadcast (see DESIGN.md's substitution table).
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List, Optional
+from collections import deque
+from typing import TYPE_CHECKING, Deque, Dict, KeysView, List, Optional, Tuple
 
 from repro.agents.messages import Message, Op
 from repro.core.exceptions import AgentError
@@ -18,6 +36,18 @@ from repro.simulation.engine import SimulationEngine
 
 if TYPE_CHECKING:
     from repro.agents.agent import Agent
+
+#: Failure-detection latency: one control-message hop (both models).
+_DETECT_DELAY_S = 0.1
+
+#: Recent dropped messages kept for diagnostics (the full history is a
+#: counter; an unbounded list would grow O(messages) under sustained churn).
+_DROP_LOG_LIMIT = 64
+
+#: Membership changes remembered per zone.  An observer whose cached epoch
+#: has fallen further behind than this gets ``None`` from
+#: :meth:`MessageBus.changes_since` and must resync from the live set.
+_EPOCH_LOG_LIMIT = 4096
 
 
 def _no_zone(node_name: str) -> None:
@@ -28,9 +58,17 @@ def _no_zone(node_name: str) -> None:
 class MessageBus:
     """Registry + virtual-time delivery between agents."""
 
-    def __init__(self, platform: Platform, engine: SimulationEngine) -> None:
+    def __init__(
+        self,
+        platform: Platform,
+        engine: SimulationEngine,
+        notification: str = "interest",
+    ) -> None:
+        if notification not in ("interest", "broadcast"):
+            raise AgentError(f"unknown notification model {notification!r}")
         self.platform = platform
         self.engine = engine
+        self.notification = notification
         # Deliveries and kills are node-local: carry the node's zone so a
         # sharded engine files them on the zone's own timeline.  The message
         # delay already pays at least the zone link latency (payloads are
@@ -41,17 +79,53 @@ class MessageBus:
         else:
             self._zone_of = _no_zone
         self._agents: Dict[str, "Agent"] = {}
+        # Live-set bookkeeping.  Plain dicts double as insertion-ordered
+        # sets: iteration order is deterministic (unlike ``set`` of strings,
+        # whose order depends on the per-process hash seed), which the
+        # byte-identical engine-equivalence suites rely on.
         self._alive: Dict[str, bool] = {}
-        self._services: Dict[str, str] = {}  # service name -> provider agent
+        self._alive_set: Dict[str, None] = {}
+        self._zone_alive: Dict[str, Dict[str, None]] = {}
+        self._agent_zone: Dict[str, str] = {}
+        # Interest sets: agent -> peers to notify when it dies.  Populated
+        # symmetrically on every send() plus explicit watch() subscriptions.
+        self._interest: Dict[str, Dict[str, None]] = {}
+        # Per-zone membership epochs and bounded change logs (epoch, name,
+        # alive) for lazy reconciliation by late observers.
+        self._zone_epoch: Dict[str, int] = {}
+        self._zone_changes: Dict[str, Deque[Tuple[int, str, bool]]] = {}
+        # Service registry: service name -> ordered provider agents.  Several
+        # agents may provide the same service; lookup skips dead providers in
+        # registration order (deterministic failover).
+        self._services: Dict[str, Dict[str, None]] = {}
         self.messages_sent = 0
         self.bytes_sent = 0.0
-        self.dropped_messages: List[Message] = []
+        self.dropped_count = 0
+        self.dropped_messages: Deque[Message] = deque(maxlen=_DROP_LOG_LIMIT)
+        #: AGENT_DOWN notices scheduled over the bus lifetime — the benches
+        #: subtract these to report *useful* events/sec under churn.
+        self.down_notices = 0
+        self.deaths = 0
+
+    # -------------------------------------------------------------- registry
 
     def register(self, agent: "Agent") -> None:
         if agent.name in self._agents:
             raise AgentError(f"agent {agent.name!r} already registered")
         self._agents[agent.name] = agent
         self._alive[agent.name] = True
+        self._alive_set[agent.name] = None
+        zone = self.platform.network.zone_of(agent.node_name)
+        self._agent_zone[agent.name] = zone
+        members = self._zone_alive.get(zone)
+        if members is None:
+            members = self._zone_alive[zone] = {}
+            self._zone_epoch[zone] = 0
+            self._zone_changes[zone] = deque(maxlen=_EPOCH_LOG_LIMIT)
+        members[agent.name] = None
+        epoch = self._zone_epoch[zone] + 1
+        self._zone_epoch[zone] = epoch
+        self._zone_changes[zone].append((epoch, agent.name, True))
 
     def agent(self, name: str) -> "Agent":
         try:
@@ -64,35 +138,119 @@ class MessageBus:
 
     @property
     def alive_agents(self) -> List[str]:
-        return [name for name, alive in self._alive.items() if alive]
+        """Names of live agents, in registration order (O(alive), no scan
+        over the dead)."""
+        return list(self._alive_set)
+
+    @property
+    def alive_count(self) -> int:
+        """O(1) live-agent count (the old path rebuilt a list to len() it)."""
+        return len(self._alive_set)
+
+    def alive_in_zone(self, zone: str) -> KeysView[str]:
+        """Live agents homed in ``zone``, as a zero-copy ordered view.
+
+        Callers must not mutate the result; it changes underneath them on
+        the next register/kill.  ``list()`` it for a stable snapshot.
+        """
+        members = self._zone_alive.get(zone)
+        return members.keys() if members is not None else {}.keys()
+
+    def zone_of_agent(self, name: str) -> str:
+        try:
+            return self._agent_zone[name]
+        except KeyError:
+            raise AgentError(f"unknown agent {name!r}") from None
+
+    # --------------------------------------------------- membership digests
+
+    def membership_epoch(self, zone: str) -> int:
+        """Current membership epoch for ``zone`` (bumped on join and death)."""
+        return self._zone_epoch.get(zone, 0)
+
+    def changes_since(
+        self, zone: str, epoch: int
+    ) -> Optional[List[Tuple[str, bool]]]:
+        """Membership deltas ``(agent, alive)`` after ``epoch``, oldest first.
+
+        The lazy half of the failure detector: an observer caches the epoch
+        it last reconciled at and folds the returned deltas into its view —
+        O(changes since), not O(zone).  Returns ``None`` when ``epoch`` has
+        fallen out of the bounded change log; the observer must then resync
+        from :meth:`alive_in_zone` (and adopt the current epoch).
+        """
+        current = self._zone_epoch.get(zone, 0)
+        if epoch >= current:
+            return []
+        log = self._zone_changes.get(zone)
+        if log is None or current - epoch > len(log):
+            return None
+        return [(name, alive) for e, name, alive in log if e > epoch]
+
+    def deaths_since(self, zone: str, epoch: int) -> Optional[List[str]]:
+        """Like :meth:`changes_since`, deaths only (None = resync needed)."""
+        changes = self.changes_since(zone, epoch)
+        if changes is None:
+            return None
+        return [name for name, alive in changes if not alive]
+
+    # -------------------------------------------------------------- services
 
     def register_service(self, service_name: str, agent_name: str) -> None:
-        """Record a service endpoint (the bus is also the service registry)."""
-        if service_name in self._services:
-            raise AgentError(f"service {service_name!r} already registered")
-        self._services[service_name] = agent_name
+        """Record a service endpoint (the bus is also the service registry).
+
+        Several agents may register the same service; re-registering the
+        same (service, provider) pair is an error.
+        """
+        providers = self._services.get(service_name)
+        if providers is None:
+            providers = self._services[service_name] = {}
+        if agent_name in providers:
+            raise AgentError(
+                f"service {service_name!r} already registered by {agent_name!r}"
+            )
+        providers[agent_name] = None
 
     def find_service(self, service_name: str) -> Optional[str]:
-        """Provider agent for a service, or None if unknown or dead."""
-        provider = self._services.get(service_name)
-        if provider is None or not self._alive.get(provider, False):
+        """First *live* provider of a service, in registration order.
+
+        Deterministic failover: when the primary dies, the next-registered
+        live provider takes over; ``None`` once every provider is dead or
+        the service is unknown.
+        """
+        providers = self._services.get(service_name)
+        if not providers:
             return None
-        return provider
+        alive = self._alive
+        for provider in providers:
+            if alive.get(provider, False):
+                return provider
+        return None
+
+    def service_providers(self, service_name: str) -> List[str]:
+        """All registered providers (dead included), in registration order."""
+        return list(self._services.get(service_name, ()))
+
+    # ------------------------------------------------------------- messaging
 
     def send(self, message: Message) -> None:
         """Deliver a message after the network-model transfer time.
 
         Messages to dead agents are dropped (the sender learns about the
-        death through the AGENT_DOWN broadcast, like a connection refusing).
+        death through its AGENT_DOWN notice, like a connection refusing).
+        Every exchange also enrolls both endpoints in each other's interest
+        set, which is what scopes failure notification.
         """
-        if message.sender not in self._agents:
-            raise AgentError(f"unknown sender {message.sender!r}")
-        if message.recipient not in self._agents:
-            raise AgentError(f"unknown recipient {message.recipient!r}")
+        sender, recipient = message.sender, message.recipient
+        if sender not in self._agents:
+            raise AgentError(f"unknown sender {sender!r}")
+        if recipient not in self._agents:
+            raise AgentError(f"unknown recipient {recipient!r}")
         self.messages_sent += 1
         self.bytes_sent += message.payload_bytes
-        src_node = self._agents[message.sender].node_name
-        dst_node = self._agents[message.recipient].node_name
+        self._note_interest(sender, recipient)
+        src_node = self._agents[sender].node_name
+        dst_node = self._agents[recipient].node_name
         delay = self.platform.network.transfer_time(
             src_node, dst_node, message.payload_bytes
         )
@@ -103,15 +261,47 @@ class MessageBus:
             shard=self._zone_of(dst_node),
         )
 
+    def _note_interest(self, a: str, b: str) -> None:
+        interest = self._interest
+        peers = interest.get(b)
+        if peers is None:
+            peers = interest[b] = {}
+        peers[a] = None
+        peers = interest.get(a)
+        if peers is None:
+            peers = interest[a] = {}
+        peers[b] = None
+
+    def watch(self, watcher: str, target: str) -> None:
+        """Subscribe ``watcher`` to ``target``'s death notice explicitly.
+
+        Orchestrators watch their declared peers before any message flows,
+        so a peer dying between Start Application and the first task
+        dispatch is still detected.
+        """
+        if watcher not in self._agents:
+            raise AgentError(f"unknown watcher {watcher!r}")
+        if target not in self._agents:
+            raise AgentError(f"unknown watch target {target!r}")
+        peers = self._interest.get(target)
+        if peers is None:
+            peers = self._interest[target] = {}
+        peers[watcher] = None
+
+    def unwatch(self, watcher: str, target: str) -> None:
+        """Drop an explicit subscription (message-derived interest stays)."""
+        peers = self._interest.get(target)
+        if peers is not None:
+            peers.pop(watcher, None)
+
     def _deliver(self, message: Message) -> None:
         if not self._alive.get(message.recipient, False):
+            self.dropped_count += 1
             self.dropped_messages.append(message)
             return
-        if not self._alive.get(message.sender, False) and message.op is not Op.AGENT_DOWN:
-            # Message from an agent that died while it was in flight still
-            # arrives (it was already on the wire).
-            pass
         self._agents[message.recipient].handle(message)
+
+    # --------------------------------------------------------------- failure
 
     def kill_agent(self, name: str, at: float) -> None:
         """Schedule an agent crash: it stops processing and peers are told."""
@@ -131,23 +321,46 @@ class MessageBus:
         if not self._alive.get(name, False):
             return
         self._alive[name] = False
+        del self._alive_set[name]
+        zone = self._agent_zone[name]
+        self._zone_alive[zone].pop(name, None)
+        epoch = self._zone_epoch[zone] + 1
+        self._zone_epoch[zone] = epoch
+        self._zone_changes[zone].append((epoch, name, False))
+        self.deaths += 1
         agent = self._agents[name]
         agent.on_killed()
         if self.platform.has_node(agent.node_name):
             self.platform.fail_node(agent.node_name, at=self.engine.now)
-        for other_name, other in self._agents.items():
-            if other_name == name or not self._alive[other_name]:
-                continue
+        if self.notification == "broadcast":
+            targets = [
+                other for other in self._agents if self._alive.get(other, False)
+            ]
+        else:
+            # Interest-scoped: only peers that exchanged messages with the
+            # dead agent or watched it.  Their own interest sets drop the
+            # dead entry so the sets stay bounded by *live* communication.
+            interested = self._interest.pop(name, None) or {}
+            interest = self._interest
+            targets = []
+            for other in interested:
+                peers = interest.get(other)
+                if peers is not None:
+                    peers.pop(name, None)
+                if self._alive.get(other, False):
+                    targets.append(other)
+        for other in targets:
             notice = Message(
                 op=Op.AGENT_DOWN,
                 sender=name,
-                recipient=other_name,
+                recipient=other,
                 payload={"agent": name},
             )
+            self.down_notices += 1
             # Failure detection latency: one control-message hop.
             self.engine.after(
-                0.1,
+                _DETECT_DELAY_S,
                 lambda m=notice: self._deliver(m),
                 label=f"detect-{name}",
-                shard=self._zone_of(other.node_name),
+                shard=self._zone_of(self._agents[other].node_name),
             )

@@ -60,12 +60,31 @@ class CloudProvider:
         self.zone = zone
         self._next_id = 0
         self._provisioned: Dict[str, float] = {}  # node name -> provision time
+        # Active = provisioned AND still on the platform.  Kept incrementally
+        # (a leave listener catches out-of-band removals) so active_nodes /
+        # ownership checks don't rescan the fleet per elasticity tick.
+        self._active: Dict[str, None] = {}
         self._pending = 0
         self.total_cost = 0.0
+        platform.on_node_leave(self._on_platform_leave)
+
+    def _on_platform_leave(self, node: Node) -> None:
+        # fail_node leaves the node listed (still "active" in the billing
+        # sense, matching has_node); remove_node takes it off the platform.
+        if not self.platform.has_node(node.name):
+            self._active.pop(node.name, None)
 
     @property
     def active_nodes(self) -> List[str]:
-        return [n for n in self._provisioned if self.platform.has_node(n)]
+        return list(self._active)
+
+    @property
+    def active_node_count(self) -> int:
+        return len(self._active)
+
+    def owns(self, node_name: str) -> bool:
+        """O(1): is this VM active under this provider?"""
+        return node_name in self._active
 
     @property
     def pending_nodes(self) -> int:
@@ -106,6 +125,7 @@ class CloudProvider:
         )
         self.platform.add_node(node, zone=self.zone, at=self.engine.now)
         self._provisioned[node.name] = self.engine.now
+        self._active[node.name] = None
         if on_ready is not None:
             on_ready(node)
 
@@ -114,6 +134,7 @@ class CloudProvider:
         if node_name not in self._provisioned:
             raise ValueError(f"{node_name!r} was not provisioned by {self.name!r}")
         started = self._provisioned.pop(node_name)
+        self._active.pop(node_name, None)
         self.total_cost += (self.engine.now - started) * self.cost_per_node_second
         if self.platform.has_node(node_name):
             self.platform.remove_node(node_name, at=self.engine.now)
@@ -204,7 +225,7 @@ class ElasticityPolicy:
             if now - since >= self.idle_grace_s
         ]
         for name in releasable:
-            if len(self.provider.active_nodes) <= self.min_nodes:
+            if self.provider.active_node_count <= self.min_nodes:
                 break
             self._idle_since.pop(name, None)
             self.provider.release_node(name)

@@ -90,7 +90,7 @@ class CloudFederation:
     def release_node(self, node_name: str) -> None:
         """Route a release to whichever provider owns the VM."""
         for provider in self.providers:
-            if node_name in provider.active_nodes:
+            if provider.owns(node_name):
                 provider.release_node(node_name)
                 return
         raise FederationError(f"{node_name!r} is not owned by any federated provider")
@@ -100,8 +100,10 @@ class CloudFederation:
             provider.shutdown()
 
     def owner_of(self, node_name: str) -> Optional[str]:
+        # O(providers) dict-membership probes, not O(providers x nodes)
+        # list scans — owner_of sits on the scale-in path under churn.
         for provider in self.providers:
-            if node_name in provider.active_nodes:
+            if provider.owns(node_name):
                 return provider.name
         return None
 

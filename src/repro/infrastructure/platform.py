@@ -32,6 +32,11 @@ class Platform:
         self.network = network if network is not None else NetworkTopology()
         self.energy = EnergyAccountant()
         self._nodes: Dict[str, Node] = {}
+        # Insertion-ordered live index: nodes registered and not yet
+        # failed/removed through the platform API.  Under fleet churn the
+        # dead stay listed in ``_nodes`` (failed in place), so scans keyed
+        # on this index cost O(live), not O(ever registered).
+        self._alive_index: Dict[str, None] = {}
         # Observers notified on node join/leave (schedulers subscribe).
         self._join_listeners: List[Callable[[Node], None]] = []
         self._leave_listeners: List[Callable[[Node], None]] = []
@@ -43,6 +48,8 @@ class Platform:
         if node.name in self._nodes:
             raise PlatformError(f"duplicate node name {node.name!r}")
         self._nodes[node.name] = node
+        if node.alive:
+            self._alive_index[node.name] = None
         self.network.add_node(node.name, zone)
         self.energy.register_node(node, on_since=at)
         for listener in self._join_listeners:
@@ -58,6 +65,7 @@ class Platform:
         if name not in self._nodes:
             raise PlatformError(f"unknown node {name!r}")
         node = self._nodes.pop(name)
+        self._alive_index.pop(name, None)
         self.energy.power_off(name, at)
         for listener in self._leave_listeners:
             listener(node)
@@ -67,6 +75,7 @@ class Platform:
         """Mark a node failed in place (it stays listed, but is not alive)."""
         node = self.node(name)
         node.fail()
+        self._alive_index.pop(name, None)
         self.energy.power_off(name, at)
         for listener in self._leave_listeners:
             listener(node)
@@ -88,7 +97,16 @@ class Platform:
 
     @property
     def alive_nodes(self) -> List[Node]:
-        return [n for n in self._nodes.values() if n.alive]
+        # The ``n.alive`` re-check covers battery-dead nodes whose death has
+        # not yet been routed through ``fail_node`` (a one-event window).
+        nodes = self._nodes
+        return [n for n in (nodes[name] for name in self._alive_index) if n.alive]
+
+    @property
+    def alive_count(self) -> int:
+        """Number of live nodes, without materialising the list."""
+        nodes = self._nodes
+        return sum(1 for name in self._alive_index if nodes[name].alive)
 
     def nodes_of_kind(self, kind: NodeKind) -> List[Node]:
         return [n for n in self._nodes.values() if n.kind is kind]

@@ -149,6 +149,52 @@ class DataLocationService:
                         if node_name in scores:
                             scores[node_name] -= size * digest.count(datum_id)
 
+    def rehome_node(self, dead_node: str, target_node: str) -> int:
+        """Re-point every copy held by a failed node at ``target_node``.
+
+        The recovery-storm primitive: where :meth:`evict_node` drops a dead
+        node's copies, rehome redirects them — persisted objects whose
+        canonical copy died are served from the store or a replica — in
+        ONE pass over the inverted index (O(data held), not one lookup +
+        publish round-trip per datum).  Versions and digest scores update
+        incrementally per datum, reusing the same bookkeeping as
+        ``publish``/``evict_node``.  Returns the number of data re-homed.
+
+        Iterates in sorted datum order so repeated runs accumulate digest
+        score floats identically (set iteration order is seed-dependent).
+        """
+        data = self._node_data.pop(dead_node, None)
+        if not data:
+            return 0
+        target_data = self._node_data.get(target_node)
+        if target_data is None:
+            target_data = self._node_data[target_node] = set()
+        moved = 0
+        for datum_id in sorted(data):
+            holders = self._locations.get(datum_id)
+            if holders is None or dead_node not in holders:
+                continue
+            holders.remove(dead_node)
+            already_there = target_node in holders
+            holders.add(target_node)
+            target_data.add(datum_id)
+            self._versions[datum_id] = self._versions.get(datum_id, 0) + 1
+            moved += 1
+            digests = self._datum_digests.get(datum_id)
+            if digests:
+                size = self._sizes.get(datum_id, 0.0)
+                if size:
+                    for digest in digests:
+                        scores = self._digest_scores[digest]
+                        delta = size * digest.count(datum_id)
+                        if dead_node in scores:
+                            scores[dead_node] -= delta
+                        if not already_there:
+                            scores[target_node] = (
+                                scores.get(target_node, 0.0) + delta
+                            )
+        return moved
+
     # --------------------------------------------------------------- queries
 
     def get_locations(self, datum_id: str) -> Set[str]:

@@ -46,7 +46,7 @@ from repro.workloads import (
     task_chain,
 )
 
-WORKLOADS = ("guidance", "nmmb", "ep", "chain")
+WORKLOADS = ("guidance", "nmmb", "ep", "chain", "churn")
 POLICIES = ("fifo", "load-balancing", "locality", "energy")
 ENGINES = ("single", "sharded", "parallel")
 
@@ -94,6 +94,11 @@ def _build_workload(args: argparse.Namespace):
     if args.workload == "chain":
         builder = task_chain(args.tasks, duration=args.duration)
         return builder, builder.initial_data
+    if args.workload == "churn":
+        raise SystemExit(
+            "churn is a live agent-plane workload (no static graph); "
+            "it only works with 'repro simulate --workload churn'"
+        )
     raise SystemExit(f"unknown workload {args.workload!r}")
 
 
@@ -121,7 +126,60 @@ def cmd_info(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _cmd_simulate_churn(args: argparse.Namespace, out) -> int:
+    """Churn has no static graph: it drives a live agent fleet instead of a
+    SimulatedExecutor, so it gets its own simulate path."""
+    from repro.workloads import ChurnConfig, run_churn, run_churn_fleet
+
+    cfg = ChurnConfig(
+        agents=args.agents,
+        zones=args.zones,
+        churn_per_s=args.churn_rate,
+        duration_s=args.sim_seconds,
+        notification=args.notification,
+        seed=args.seed,
+    )
+    if args.engine == "parallel":
+        # One bus cannot span forked lanes: parallel runs the decomposed
+        # per-zone programs (byte-identical to single/sharded on them).
+        result, _stats = run_churn(cfg, engine="parallel", workers=args.zones)
+    else:
+        result = run_churn_fleet(cfg, engine=args.engine)
+    print(
+        f"workload : churn ({result['mode']}, {args.agents} agents, "
+        f"{args.zones} zones)",
+        file=out,
+    )
+    print(
+        f"churn    : {result['deaths']} deaths, {result['arrivals']} arrivals "
+        f"@ {args.churn_rate * 100:.1f}%/s over {args.sim_seconds:.0f} s",
+        file=out,
+    )
+    print(
+        f"apps     : {result['apps_completed']} completed, "
+        f"{result['apps_failed']} failed ({result['tasks_done']} tasks)",
+        file=out,
+    )
+    print(
+        f"recovery : {result['tasks_recovered']} tasks requeued, "
+        f"{result['tasks_lost']} lost, {result['data_rehomed']} objects "
+        f"re-homed (recovered-work fraction "
+        f"{result['recovered_work_fraction']:.2f})",
+        file=out,
+    )
+    print(f"engine   : {args.engine}", file=out)
+    print(
+        f"events   : {result['events']} dispatched, "
+        f"{result['down_notices']} failure notices "
+        f"({result['notification']} notification)",
+        file=out,
+    )
+    return 0
+
+
 def cmd_simulate(args: argparse.Namespace, out) -> int:
+    if args.workload == "churn":
+        return _cmd_simulate_churn(args, out)
     builder, initial_data = _build_workload(args)
     graph = builder.graph
     compile_stats = None
@@ -240,6 +298,32 @@ def simulate_scenario_runner(
         if stats:
             # Runner-scoped timing for the stats block (stripped before
             # merging): the critical-path CPU cost of the parallel run.
+            result["_stats"] = {
+                "cpu_seconds": stats["max_lane_cpu_seconds"]
+                + stats["coordinator_cpu_seconds"]
+            }
+        return result
+    if workload_name == "churn":
+        from repro.workloads import ChurnConfig, run_churn, run_churn_fleet
+
+        cfg = ChurnConfig(
+            agents=int(scenario.get("agents", 2000)),
+            zones=int(scenario.get("zones", 4)),
+            churn_per_s=float(scenario.get("churn_per_s", 0.01)),
+            duration_s=float(scenario.get("duration", 20.0)),
+            inter_zone_latency_s=float(scenario.get("inter_zone_latency", 1.0)),
+            notification=scenario.get("notification", "interest"),
+            persistence=bool(scenario.get("persistence", True)),
+            seed=seed,
+        )
+        mode = scenario.get("mode", "fleet")
+        if mode == "fleet" and engine != "parallel":
+            return run_churn_fleet(cfg, engine=engine)
+        # Decomposed per-zone programs: the only shape forked lanes can run.
+        result, stats = run_churn(
+            cfg, engine=engine, workers=int(scenario.get("workers", 2))
+        )
+        if stats:
             result["_stats"] = {
                 "cpu_seconds": stats["max_lane_cpu_seconds"]
                 + stats["coordinator_cpu_seconds"]
@@ -394,6 +478,23 @@ def build_parser() -> argparse.ArgumentParser:
     add_workload_options(simulate)
     simulate.add_argument("--nodes", type=int, default=4)
     simulate.add_argument("--cores-per-node", type=int, default=48)
+    churn_opts = simulate.add_argument_group("churn workload")
+    churn_opts.add_argument("--agents", type=int, default=2000)
+    churn_opts.add_argument("--zones", type=int, default=4)
+    churn_opts.add_argument(
+        "--churn-rate",
+        type=float,
+        default=0.01,
+        help="fraction of the fleet dying (and arriving) per second",
+    )
+    churn_opts.add_argument("--sim-seconds", type=float, default=20.0)
+    churn_opts.add_argument(
+        "--notification",
+        choices=("interest", "broadcast"),
+        default="interest",
+        help="failure-notification model (broadcast is the O(agents) reference)",
+    )
+    churn_opts.add_argument("--seed", type=int, default=42)
     simulate.add_argument("--policy", choices=POLICIES, default="load-balancing")
     simulate.add_argument(
         "--engine",

@@ -25,8 +25,18 @@ from repro.workloads.zonal import (
     run_zonal,
     zone_name,
 )
+from repro.workloads.churn import (
+    ChurnConfig,
+    make_churn_programs,
+    run_churn,
+    run_churn_fleet,
+)
 
 __all__ = [
+    "ChurnConfig",
+    "make_churn_programs",
+    "run_churn",
+    "run_churn_fleet",
     "GuidanceConfig",
     "GuidanceWorkload",
     "build_guidance_workflow",

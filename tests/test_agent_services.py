@@ -59,8 +59,30 @@ class TestServiceInvocation:
         agents["cloud-0"].publish_service("svc", handler=lambda x: x)
         with pytest.raises(AgentError):
             agents["cloud-0"].publish_service("svc", handler=lambda x: x)
+        # Same (service, provider) pair twice is an error ...
         with pytest.raises(AgentError):
-            agents["fog-0"].bus.register_service("svc", "fog-0")
+            bus.register_service("svc", "cloud-0")
+        # ... but a second provider for the same service is failover, not a
+        # conflict: the registry keeps both, primary first.
+        agents["fog-0"].publish_service("svc", handler=lambda x: x)
+        assert bus.service_providers("svc") == ["cloud-0", "fog-0"]
+        assert bus.find_service("svc") == "cloud-0"
+
+    def test_service_failover_to_next_live_provider(self):
+        platform, engine, bus, agents = make_stack()
+        agents["cloud-0"].publish_service("svc", handler=lambda x: ("cloud", x))
+        agents["fog-1"].publish_service("svc", handler=lambda x: ("fog", x))
+        assert bus.find_service("svc") == "cloud-0"
+        bus.kill_agent("cloud-0", at=0.0)
+        engine.run()
+        # Deterministic failover: next live provider in registration order.
+        assert bus.find_service("svc") == "fog-1"
+        replies = []
+        agents["fog-0"].invoke_service("svc", 7, on_reply=replies.append)
+        engine.run()
+        assert replies == [("fog", 7)]
+        # Dead providers stay listed (diagnostics) but are never returned.
+        assert bus.service_providers("svc") == ["cloud-0", "fog-1"]
 
     def test_dead_provider_not_discoverable(self):
         platform, engine, bus, agents = make_stack()
