@@ -156,6 +156,33 @@ def _requirements_signature(requirements: ResolvedRequirements) -> tuple:
     )
 
 
+def stream_task_key(
+    operator: str,
+    window_index: int,
+    window_start: float,
+    window_end: float,
+    payload: Any,
+) -> str:
+    """Deterministic identity of one lowered stream-window task.
+
+    The dataflow plane stamps every window task's ``cache_key`` with this:
+    a content digest over the operator, the window's position on the grid,
+    and the window's element payload.  Two windows with identical contents
+    — across engines, runs, or replayed campaigns — therefore carry the
+    same identity, which is what lets stream tasks ride the same
+    content-addressing machinery as batch tasks (and what the cross-engine
+    byte-identity checks compare).
+    """
+    _size, key = content_fingerprint(
+        ("repro-stream/v1", operator, window_index, window_start, window_end, payload)
+    )
+    if key is None:
+        # Unpicklable window payloads opt out of content identity but keep
+        # a stable positional one.
+        return f"stream-opaque/{operator}/{window_index}"
+    return key
+
+
 class WorkflowCompiler:
     """Assigns content keys to runtime task invocations.
 

@@ -336,6 +336,24 @@ class TaskGraph:
         else:
             self._pending_count += 1
 
+    def add_tasks(
+        self, batch: Iterable[tuple]
+    ) -> int:
+        """Batched insert: ``(instance, depends_on)`` pairs in program order.
+
+        The graph-level half of the batched submission path (the
+        ``submit_many`` analogue for pre-built instances): callers that
+        lower many tasks at one virtual instant — the dataflow plane's
+        window closes — append them in one call and trigger a single
+        dispatch pass, instead of paying a scheduler kick per task.
+        Returns the number of tasks inserted.
+        """
+        count = 0
+        for instance, depends_on in batch:
+            self.add_task(instance, depends_on)
+            count += 1
+        return count
+
     def add_completed_task(
         self,
         instance: TaskInstance,

@@ -19,7 +19,7 @@ Model choices (kept deliberately simple and documented):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional, Tuple
 
 if TYPE_CHECKING:
     from repro.intelligence.predictor import DurationPredictor
@@ -112,6 +112,16 @@ class SimulatedExecutor:
         # e.g. container image pulls (repro.infrastructure.containers).
         self.extra_stage_in = extra_stage_in
         self.resubmissions = 0
+        # Streaming campaigns add tasks while the engine runs: with
+        # ``hold_open`` set, a momentarily finished graph (all lowered
+        # window tasks done, next window not yet closed) does not stop the
+        # engine — the run ends when the event queue itself drains (or the
+        # caller stops it).
+        self.hold_open = False
+        # Completion hooks (the dataflow plane's result path): called with
+        # the finished TaskInstance after mark_done, before the finished
+        # check — so a hook may submit follow-on tasks in the same breath.
+        self._done_callbacks: List[Callable[[TaskInstance], None]] = []
         self._completion_events: Dict[int, Event] = {}
         # Certified-blocked bookkeeping lives on each TaskInstance
         # (``blocked_seq``): the grow tick at which its demand provably fit
@@ -207,6 +217,28 @@ class SimulatedExecutor:
             resubmissions=self.resubmissions,
             per_node_busy_seconds=dict(self._busy_seconds),
         )
+
+    # ---------------------------------------------------- dynamic submission
+
+    def on_task_done(self, callback: Callable[[TaskInstance], None]) -> None:
+        """Register a completion hook (called after every mark_done)."""
+        self._done_callbacks.append(callback)
+
+    def submit_tasks(
+        self, batch: Iterable[Tuple[TaskInstance, Iterable[int]]]
+    ) -> int:
+        """Add tasks mid-run through the batched path: one dispatch kick.
+
+        The simulated analogue of the runtime's ``submit_many``: however
+        many tasks one virtual instant lowers (every window closing at this
+        tick), the graph grows in one append pass and the scheduler is
+        kicked once — ``_request_dispatch`` already coalesces per
+        timestamp, so the per-batch scheduling overhead is a single event.
+        """
+        count = self.graph.add_tasks(batch)
+        if count:
+            self._request_dispatch()
+        return count
 
     # ------------------------------------------------------------- dispatch
 
@@ -406,7 +438,7 @@ class SimulatedExecutor:
                         now=self.engine.now,
                     )
                     self._makespan = self.engine.now
-                    if graph.finished:
+                    if graph.finished and not self.hold_open:
                         self.engine.stop()
                     continue
             req = instance.requirements
@@ -596,10 +628,18 @@ class SimulatedExecutor:
         self.scheduler.release(instance)
         self.graph.mark_done(task_id, now=now)
         self._makespan = now
+        # Completion hooks run before the finished check: a hook may lower
+        # follow-on tasks (the dataflow plane's batch stages), un-finishing
+        # the graph in the same event.
+        for callback in self._done_callbacks:
+            callback(instance)
         if self.graph.finished:
             # Stop the engine even if periodic controllers (elasticity
-            # policies) still have ticks queued: the workflow is done.
-            self.engine.stop()
+            # policies) still have ticks queued: the workflow is done —
+            # unless a streaming campaign holds the run open for windows
+            # that have not closed yet.
+            if not self.hold_open:
+                self.engine.stop()
         else:
             self._request_dispatch()
 
@@ -685,7 +725,8 @@ class SimulatedExecutor:
                     )
                     self._makespan = now
         if self.graph.finished:
-            self.engine.stop()
+            if not self.hold_open:
+                self.engine.stop()
         else:
             self._request_dispatch()
 

@@ -48,7 +48,7 @@ import pickle
 import time as _time
 import traceback
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 from repro.infrastructure.network import NetworkTopology
 from repro.simulation.engine import SimulationEngine, SimulationError
@@ -365,12 +365,17 @@ class _InlineLane:
 
     def window(
         self,
-        window_end: float,
+        window_end: Union[float, Dict[str, float]],
         until: Optional[float],
         inboxes: Dict[str, List[ChannelMessage]],
     ) -> Tuple[Dict[str, Optional[float]], List[ChannelMessage], int]:
-        """One barrier round: deliver, drain, collect the outboxes."""
+        """One barrier round: deliver, drain, collect the outboxes.
+
+        ``window_end`` is a single horizon for every shard, or (when the
+        coordinator widened adaptively) a per-zone map of horizons.
+        """
         cpu_start = _time.process_time()
+        per_zone = window_end if isinstance(window_end, dict) else None
         outbox: List[ChannelMessage] = []
         dispatched = 0
         for shard in self.shards:
@@ -379,7 +384,10 @@ class _InlineLane:
                 for message in sorted(inbox, key=lambda m: m.sort_key):
                     shard.api.deliver(message)
             before = shard.engine.dispatched_events
-            shard.run_window(window_end, until)
+            shard.run_window(
+                per_zone[shard.zone] if per_zone is not None else window_end,
+                until,
+            )
             dispatched += shard.engine.dispatched_events - before
             outbox.extend(shard.api.drain_outbox())
         next_times = {shard.zone: shard.next_time() for shard in self.shards}
@@ -468,7 +476,7 @@ class _ProcessLane:
 
     def send_window(
         self,
-        window_end: float,
+        window_end: Union[float, Dict[str, float]],
         until: Optional[float],
         inboxes: Dict[str, List[ChannelMessage]],
     ) -> None:
@@ -523,6 +531,9 @@ class ParallelShardedSimulationEngine:
         lookahead: Optional[float] = None,
         until: Optional[float] = None,
         max_events: int = 50_000_000,
+        adaptive_window: bool = True,
+        widen_after: int = 4,
+        max_widen: float = 16.0,
     ) -> None:
         if not programs:
             raise SimulationError("parallel engine needs at least one zone program")
@@ -555,6 +566,13 @@ class ParallelShardedSimulationEngine:
                 "causality"
             )
         self.lookahead = horizon
+        if widen_after < 1:
+            raise SimulationError(f"widen_after must be >= 1, got {widen_after}")
+        if max_widen < 1.0:
+            raise SimulationError(f"max_widen must be >= 1.0, got {max_widen}")
+        self._adaptive = bool(adaptive_window)
+        self._widen_after = int(widen_after)
+        self._max_widen = float(max_widen)
         self.results: Dict[str, Any] = {}
         self.logs: Dict[str, List[Tuple[float, Any]]] = {}
         self.shard_clocks: Dict[str, float] = {}
@@ -613,25 +631,65 @@ class ParallelShardedSimulationEngine:
             lanes = inline_lanes
         windows = 0
         messages = 0
+        widened_windows = 0
+        max_window_factor = 1.0
+        idle_streak = 0
+        factor = 1.0
         try:
             next_times: Dict[str, Optional[float]] = {}
             for lane in lanes:
                 next_times.update(lane.setup())
             pending: Dict[str, List[ChannelMessage]] = {z: [] for z in self.zones}
             while True:
-                gvt = None
-                for zone_time in next_times.values():
-                    if zone_time is not None and (gvt is None or zone_time < gvt):
-                        gvt = zone_time
-                for inbox in pending.values():
+                # Per-zone earliest dispatchable time: the zone's own next
+                # event or any pending barrier message awaiting delivery.
+                earliest: Dict[str, float] = {}
+                for zone, zone_time in next_times.items():
+                    if zone_time is not None:
+                        earliest[zone] = zone_time
+                for zone, inbox in pending.items():
                     for message in inbox:
-                        if gvt is None or message.time < gvt:
-                            gvt = message.time
-                if gvt is None:
+                        current = earliest.get(zone)
+                        if current is None or message.time < current:
+                            earliest[zone] = message.time
+                if not earliest:
                     break
+                gvt = min(earliest.values())
                 if until is not None and gvt > until:
                     break
                 window_end = gvt + self.lookahead
+                window_ends: Any = window_end
+                if factor > 1.0:
+                    # Adaptive widening: after enough barrier exchanges with
+                    # empty outboxes, drain each zone up to its *per-pair*
+                    # safe bound — the earliest instant any other zone's
+                    # next dispatchable event could deliver a message to it
+                    # (the latency matrix is shortest-path effective
+                    # latency, so indirect relays can never arrive earlier).
+                    # Always >= gvt + lookahead: per-zone event order (and
+                    # hence results) is unchanged, only barrier count drops.
+                    cap = gvt + factor * self.lookahead
+                    ends: Dict[str, float] = {}
+                    any_widened = False
+                    for dst in self.zones:
+                        bound = min(
+                            (
+                                earliest[src] + self._latency[(src, dst)]
+                                for src in self.zones
+                                if src != dst and src in earliest
+                            ),
+                            default=cap,
+                        )
+                        end = max(window_end, min(cap, bound))
+                        ends[dst] = end
+                        if end > window_end:
+                            any_widened = True
+                            applied = (end - gvt) / self.lookahead
+                            if applied > max_window_factor:
+                                max_window_factor = applied
+                    if any_widened:
+                        window_ends = ends
+                        widened_windows += 1
                 windows += 1
                 inboxes_by_lane: List[Dict[str, List[ChannelMessage]]] = []
                 for lane, zones in zip(lanes, plan):
@@ -646,13 +704,14 @@ class ParallelShardedSimulationEngine:
                     # Broadcast first, then gather: every lane drains its
                     # window concurrently — this is the parallel section.
                     for lane, inboxes in zip(lanes, inboxes_by_lane):
-                        lane.send_window(window_end, until, inboxes)
+                        lane.send_window(window_ends, until, inboxes)
                     replies = [lane.recv_window() for lane in lanes]
                 else:
                     replies = [
-                        lane.window(window_end, until, inboxes)
+                        lane.window(window_ends, until, inboxes)
                         for lane, inboxes in zip(lanes, inboxes_by_lane)
                     ]
+                window_messages = 0
                 for lane_next, outbox, dispatched in replies:
                     next_times.update(lane_next)
                     self.dispatched_events += dispatched
@@ -664,6 +723,17 @@ class ParallelShardedSimulationEngine:
                             )
                         pending[message.dst_zone].append(message)
                         messages += 1
+                        window_messages += 1
+                if window_messages:
+                    idle_streak = 0
+                    factor = 1.0
+                elif self._adaptive:
+                    idle_streak += 1
+                    if idle_streak >= self._widen_after:
+                        factor = min(
+                            factor * 2.0 if factor > 1.0 else 2.0,
+                            self._max_widen,
+                        )
                 if self.dispatched_events > self.max_events:
                     raise SimulationError(
                         f"dispatched more than {self.max_events} events; "
@@ -695,6 +765,8 @@ class ParallelShardedSimulationEngine:
             "workers": len(lanes),
             "zones": len(self.zones),
             "windows": windows,
+            "widened_windows": widened_windows,
+            "max_window_factor": max_window_factor,
             "messages": messages,
             "dispatched_events": self.dispatched_events,
             "wall_seconds": _time.perf_counter() - wall_start,

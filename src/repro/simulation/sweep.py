@@ -135,6 +135,32 @@ class SweepStats:
         """Cache evictions across the fleet (budget pressure indicator)."""
         return self._sum_per_run("cache_evictions")
 
+    @property
+    def total_stream_events(self) -> float:
+        """Stream elements ingested fleet-wide (hybrid_stream scenarios).
+
+        Streaming runners report per-scenario counters through the
+        ``_stats`` channel (``stream_events`` / ``stream_dropped`` /
+        ``stream_spilled`` / ``windows_closed``); batch-only runs
+        contribute zero.
+        """
+        return self._sum_per_run("stream_events")
+
+    @property
+    def total_stream_dropped(self) -> float:
+        """Elements discarded by backpressure drop policies, fleet-wide."""
+        return self._sum_per_run("stream_dropped")
+
+    @property
+    def total_stream_spilled(self) -> float:
+        """Spill writes by backpressure spill policies, fleet-wide."""
+        return self._sum_per_run("stream_spilled")
+
+    @property
+    def total_windows_closed(self) -> float:
+        """Tumbling windows closed (tasks lowered) across the fleet."""
+        return self._sum_per_run("windows_closed")
+
     def aggregate_events_per_sec(self, basis: str = "cpu") -> float:
         """Aggregate events/sec of the sweep fleet.
 

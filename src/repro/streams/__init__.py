@@ -8,27 +8,45 @@ scientific results to enable interactivity."
 
 The subsystem runs in virtual time on the DES engine:
 
-* :class:`SensorSource` — an edge device emitting readings on a period
-  (with jitter) into a :class:`DataStream`;
+* :class:`SensorSource` — an edge device emitting readings (singly or in
+  batches, optionally through a :class:`CreditValve` for backpressure)
+  into a :class:`DataStream`;
 * :class:`DataStream` — an append-only, subscribable channel of timestamped
-  elements;
-* :class:`WindowedProcessor` — closes tumbling windows over a stream and
-  runs one processing task per window on a platform node, publishing
-  results (with their end-to-end latency) to an output stream;
-* :class:`BatchCollector` — the baseline: accumulate everything, process
-  once at the end (today's fragmented offline pipeline), for the
-  streaming-vs-batch latency comparison (experiment E14).
+  elements with watermark-driven retention (pruned prefixes stay
+  addressable through :meth:`DataStream.since` down to the watermark);
+* :class:`OperatorGraph` / :class:`DataflowPlane` — the production path:
+  a described dataflow (map/filter chains into tumbling windows, keyed
+  joins, and stream-fed batch stages) lowered into the task runtime, one
+  task per window, at flat per-event cost;
+* :class:`WindowedProcessor` — the earlier single-operator form: closes
+  tumbling windows over a stream and runs one processing task per window
+  on a platform node (kept as the bench baseline);
+* :class:`BatchCollector` — the fragmented-pipeline baseline: accumulate
+  everything, process once at the end, for experiment E14.
 """
 
 from repro.streams.stream import DataStream, StreamElement
-from repro.streams.sources import SensorSource
+from repro.streams.sources import CreditValve, SensorSource
 from repro.streams.processing import WindowedProcessor, BatchCollector, WindowResult
+from repro.streams.operators import (
+    OperatorError,
+    OperatorGraph,
+    StreamHandle,
+    WindowHandle,
+)
+from repro.streams.dataflow import DataflowPlane
 
 __all__ = [
     "DataStream",
     "StreamElement",
+    "CreditValve",
     "SensorSource",
     "WindowedProcessor",
     "BatchCollector",
     "WindowResult",
+    "OperatorError",
+    "OperatorGraph",
+    "StreamHandle",
+    "WindowHandle",
+    "DataflowPlane",
 ]

@@ -1,0 +1,485 @@
+"""The dataflow plane: operator graphs lowered into the task runtime.
+
+This is where streams stop being a demo and become part of the workflow
+runtime (§I, §III — one environment for batch tasks and continuous data):
+
+* **Element path, O(1) per event** — each window operator's input chains
+  are fused into one per-batch ingestion callback (map/filter applied
+  inline, elements bucketed into their tumbling window by timestamp).  No
+  engine events, no rescans: an element is touched exactly once between
+  publication and window close.
+* **Lowering** — a window close builds one :class:`TaskInstance` per
+  non-empty window and appends it through the executor's batched
+  submission path (:meth:`SimulatedExecutor.submit_tasks`), so window
+  tasks ride the *same* placement, locality, and content-addressing
+  machinery as batch tasks: their input datum is registered at the ingest
+  node (stage-in is priced by the network model), their ``cache_key`` is a
+  deterministic content identity (:func:`repro.core.compile.stream_task_key`),
+  and batch stages depend on window tasks through ordinary DAG edges.
+* **Incremental accounting** — window buffers are built at ingestion time
+  (seeded from :meth:`DataStream.since`'s bisection for elements published
+  before the plane attached), so a close is a dict pop, never a scan of
+  the stream history.
+* **Backpressure + retention** — completed window tasks grant credits back
+  to their source valves (drop/spill policies applied at the source), and
+  every close advances the consumed-prefix watermark on its input streams,
+  pruning retained memory down to the in-flight window span.
+"""
+
+from __future__ import annotations
+
+from functools import partial
+from typing import Any, Dict, List, Optional, Tuple, TYPE_CHECKING
+
+from repro.core.compile import stream_task_key
+from repro.core.graph import SimProfile, TaskInstance
+from repro.streams.operators import (
+    BatchNode,
+    JoinNode,
+    OperatorGraph,
+    WindowNode,
+)
+from repro.streams.processing import WindowResult
+from repro.streams.sources import CreditValve
+from repro.streams.stream import DataStream, StreamElement
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (executor layer)
+    from repro.executor.simulated import SimulatedExecutor
+
+
+class _WindowRuntime:
+    """Mutable execution state of one window-level operator."""
+
+    __slots__ = (
+        "op",
+        "window_s",
+        "next_index",
+        "buffers",
+        "counts",
+        "credit_counts",
+        "results",
+        "input_streams",
+        "dependents",
+        "finished",
+    )
+
+    def __init__(self, op: Any, window_s: float) -> None:
+        self.op = op
+        self.window_s = window_s
+        self.next_index = 0
+        self.buffers: Dict[int, Any] = {}
+        self.counts: Dict[int, int] = {}
+        self.credit_counts: Dict[int, Dict[CreditValve, int]] = {}
+        self.results: List[WindowResult] = []
+        self.input_streams: List[DataStream] = []
+        self.dependents: List["_BatchRuntime"] = []
+        self.finished = False
+
+
+class _BatchRuntime:
+    """Accumulates window results until a batch stage's quota fills."""
+
+    __slots__ = ("op", "pending", "dep_ids", "results", "batches")
+
+    def __init__(self, op: BatchNode) -> None:
+        self.op = op
+        self.pending: List[WindowResult] = []
+        self.dep_ids: List[int] = []
+        self.results: List[WindowResult] = []
+        self.batches = 0
+
+
+class DataflowPlane:
+    """Executes an :class:`OperatorGraph` on a :class:`SimulatedExecutor`.
+
+    The plane owns no engine and no platform — it attaches to an existing
+    executor (whose engine may be the single-queue reference, a coupled
+    sharded engine, or one zone's ``ShardApi`` lane), holds its run open
+    across momentary graph quiescence, and lowers window tasks as virtual
+    time crosses window boundaries.
+    """
+
+    def __init__(
+        self,
+        operators: OperatorGraph,
+        executor: "SimulatedExecutor",
+        ingest_node: str,
+        start_at: float = 0.0,
+        zone: Optional[str] = None,
+        content_keys: bool = True,
+    ) -> None:
+        self.operators = operators
+        self.executor = executor
+        self.engine = executor.engine
+        self.ingest_node = ingest_node
+        self.start_at = start_at
+        self.zone = zone
+        self.content_keys = content_keys
+        self._runtimes: Dict[str, _WindowRuntime] = {}
+        self._batch_runtimes: Dict[str, _BatchRuntime] = {}
+        self._inflight: Dict[int, tuple] = {}
+        self._stream_consumers: Dict[int, Tuple[DataStream, List[_WindowRuntime]]] = {}
+        self._next_task_id = 0
+        self._started = False
+        # Counters (per-scenario stream stats ride these into the sweep).
+        self.elements_ingested = 0
+        self.late_elements = 0
+        self.windows_closed = 0
+        self.tasks_lowered = 0
+        self.batch_tasks = 0
+        self._buffered = 0
+        self.buffered_high_water = 0
+
+    # ----------------------------------------------------------------- setup
+
+    def start(self) -> None:
+        """Attach to the executor and schedule the first window closes."""
+        if self._started:
+            raise RuntimeError("dataflow plane already started")
+        self._started = True
+        executor = self.executor
+        executor.hold_open = True
+        executor.on_task_done(self._on_task_done)
+        self._next_task_id = (
+            max((t.task_id for t in executor.graph.tasks), default=-1) + 1
+        )
+        owners: Dict[int, _WindowRuntime] = {}
+        for op in self.operators.window_nodes:
+            if isinstance(op, BatchNode):
+                runtime = _BatchRuntime(op)
+                self._batch_runtimes[op.name] = runtime
+                continue
+            window = _WindowRuntime(op, op.window_s)
+            self._runtimes[op.name] = window
+            if isinstance(op, JoinNode):
+                sides: List[Optional[int]] = [0, 1]
+            else:
+                sides = [None] * len(op.inputs)
+            for node, side in zip(op.inputs, sides):
+                source, ops = self.operators.chain_of(node)
+                stream = source.stream
+                window.input_streams.append(stream)
+                consumers = self._stream_consumers.setdefault(
+                    id(stream), (stream, [])
+                )[1]
+                consumers.append(window)
+                valve = source.valve
+                if valve is not None:
+                    # First consumer of a valved source owns its credits:
+                    # it counts admissions per window and grants them back
+                    # on task completion (or immediately when its chain
+                    # filters the element out before buffering).
+                    owner = owners.setdefault(id(valve), window)
+                    if owner is not window:
+                        valve = None
+                ingest = self._make_ingest(window, ops, valve, side)
+                stream.subscribe_batch(ingest)
+                # Seed from elements published before the plane attached —
+                # the since() bisection instead of a history scan.
+                backlog = stream.since(self.start_at)
+                if backlog:
+                    ingest(backlog)
+            self._schedule_close(window)
+        # Link batch stages to their upstream window runtimes (batch-on-batch
+        # stacking is rejected at graph-construction time).
+        for runtime in self._batch_runtimes.values():
+            self._runtimes[runtime.op.upstream.name].dependents.append(runtime)
+        executor.prime()
+
+    def run(self, until: Optional[float] = None):
+        """Convenience driver for plane-owned engines: start, run, report."""
+        if not self._started:
+            self.start()
+        self.engine.run(until=until)
+        return self.executor.report()
+
+    def close_sources_at(self, time: float) -> None:
+        """Schedule every source stream's close (ends window rescheduling)."""
+        for source in self.operators.sources:
+            self.engine.at(
+                time, source.stream.close, label=f"{source.name}-close",
+                shard=self.zone,
+            )
+
+    # ------------------------------------------------------------ ingestion
+
+    def _make_ingest(self, runtime, ops, valve, side):
+        origin = self.start_at
+        window_s = runtime.window_s
+        buffers = runtime.buffers
+        counts = runtime.counts
+        credit_counts = runtime.credit_counts
+        op = runtime.op
+        if isinstance(op, JoinNode):
+            key_fn = op.key_fn if side == 0 else op.right_key_fn
+            mode = "join"
+        elif op.key_fn is not None:
+            key_fn = op.key_fn
+            mode = "keyed"
+        else:
+            key_fn = None
+            mode = "plain"
+
+        def ingest(batch) -> None:
+            filtered = 0
+            added = 0
+            for element in batch:
+                value = element.value
+                keep = True
+                for kind, fn in ops:
+                    if kind == "map":
+                        value = fn(value)
+                    elif not fn(value):
+                        keep = False
+                        break
+                if not keep:
+                    filtered += 1
+                    continue
+                index = int((element.timestamp - origin) // window_s)
+                if index < runtime.next_index:
+                    # Late data (spilled or out-of-order): lands in the
+                    # earliest still-open window instead of being dropped.
+                    index = runtime.next_index
+                    self.late_elements += 1
+                bucket = buffers.get(index)
+                if mode == "plain":
+                    if bucket is None:
+                        bucket = buffers[index] = []
+                    bucket.append(value)
+                elif mode == "keyed":
+                    if bucket is None:
+                        bucket = buffers[index] = {}
+                    bucket.setdefault(key_fn(value), []).append(value)
+                else:
+                    if bucket is None:
+                        bucket = buffers[index] = ({}, {})
+                    bucket[side].setdefault(key_fn(value), []).append(value)
+                counts[index] = counts.get(index, 0) + 1
+                added += 1
+                if valve is not None:
+                    per_window = credit_counts.get(index)
+                    if per_window is None:
+                        per_window = credit_counts[index] = {}
+                    per_window[valve] = per_window.get(valve, 0) + 1
+            self.elements_ingested += len(batch)
+            if valve is not None and filtered:
+                # Filtered elements never reach a window task: their
+                # credits return immediately.
+                valve.grant(filtered)
+            if added:
+                self._buffered += added
+                if self._buffered > self.buffered_high_water:
+                    self.buffered_high_water = self._buffered
+
+        return ingest
+
+    # --------------------------------------------------------------- closes
+
+    def _schedule_close(self, runtime: _WindowRuntime) -> None:
+        close_at = self.start_at + (runtime.next_index + 1) * runtime.window_s
+        self.engine.at(
+            close_at,
+            partial(self._close, runtime),
+            label=f"{runtime.op.name}-close",
+            shard=self.zone,
+        )
+
+    def _close(self, runtime: _WindowRuntime) -> None:
+        op = runtime.op
+        index = runtime.next_index
+        runtime.next_index = index + 1
+        window_end = self.start_at + (index + 1) * runtime.window_s
+        window_start = window_end - runtime.window_s
+        buffer = runtime.buffers.pop(index, None)
+        count = runtime.counts.pop(index, 0)
+        credits = runtime.credit_counts.pop(index, None)
+        if buffer is not None and count:
+            instance = self._lower(
+                op, index, window_start, window_end, buffer, count
+            )
+            self._inflight[instance.task_id] = (
+                runtime, window_start, window_end, buffer, count, credits,
+            )
+            self.executor.submit_tasks([(instance, ())])
+            self.windows_closed += 1
+            self.tasks_lowered += 1
+        elif credits:  # pragma: no cover - credits imply a buffered count
+            for valve, granted in credits.items():
+                valve.grant(granted)
+        self._advance_watermarks(runtime)
+        if runtime.buffers or not all(s.closed for s in runtime.input_streams):
+            self._schedule_close(runtime)
+        else:
+            runtime.finished = True
+
+    def _advance_watermarks(self, runtime: _WindowRuntime) -> None:
+        """Prune each input stream below every consumer's open-window start."""
+        for stream in runtime.input_streams:
+            _stream, consumers = self._stream_consumers[id(stream)]
+            watermark = min(
+                self.start_at + r.next_index * r.window_s for r in consumers
+            )
+            stream.prune_upto(watermark)
+
+    # ------------------------------------------------------------- lowering
+
+    def _lower(
+        self,
+        op: Any,
+        index: int,
+        window_start: float,
+        window_end: float,
+        buffer: Any,
+        count: int,
+        depends_on: Tuple[int, ...] = (),
+    ) -> TaskInstance:
+        task_id = self._next_task_id
+        self._next_task_id = task_id + 1
+        prefix = f"{self.operators.name}/{op.name}"
+        datum_in = f"{prefix}.w{index}.in"
+        datum_out = f"{prefix}.w{index}.out"
+        input_sizes: Dict[str, float] = {}
+        reads: List[str] = []
+        bytes_per_element = getattr(op, "bytes_per_element", 0.0)
+        if bytes_per_element:
+            in_size = bytes_per_element * count
+            self.executor.locations.publish(
+                datum_in, self.ingest_node, size_bytes=in_size
+            )
+            input_sizes[datum_in] = in_size
+            reads.append(datum_in)
+        cache_key = None
+        if self.content_keys:
+            cache_key = stream_task_key(
+                op.name, index, window_start, window_end, buffer
+            )
+        profile = SimProfile(
+            duration_s=op.duration_fn(count),
+            input_sizes=input_sizes,
+            output_sizes={datum_out: op.output_bytes},
+        )
+        return TaskInstance(
+            task_id=task_id,
+            label=f"{prefix}#w{index}",
+            requirements=op.requirements,
+            reads=reads,
+            writes=[datum_out],
+            profile=profile,
+            cache_key=cache_key,
+        )
+
+    # ------------------------------------------------------------ completion
+
+    def _on_task_done(self, instance: TaskInstance) -> None:
+        info = self._inflight.pop(instance.task_id, None)
+        if info is None:
+            return
+        runtime, window_start, window_end, buffer, count, credits = info
+        now = self.engine.now
+        op = runtime.op
+        if isinstance(op, WindowNode):
+            if op.key_fn is None:
+                value = op.compute_fn(buffer)
+            else:
+                value = {key: op.compute_fn(buffer[key]) for key in sorted(buffer)}
+        elif isinstance(op, JoinNode):
+            left, right = buffer
+            value = {
+                key: op.join_fn(key, left[key], right[key])
+                for key in sorted(set(left) & set(right))
+            }
+        else:
+            value = op.fn(buffer)
+        result = WindowResult(
+            window_start=window_start,
+            window_end=window_end,
+            completed_at=now,
+            value=value,
+            element_count=count,
+        )
+        runtime.results.append(result)
+        op.output.publish(
+            StreamElement(timestamp=now, value=result, source=op.name)
+        )
+        if credits:
+            for valve, granted in credits.items():
+                valve.grant(granted)
+        if not isinstance(op, BatchNode):
+            self._buffered -= count
+        for batch_runtime in getattr(runtime, "dependents", ()):
+            self._feed_batch(batch_runtime, result, instance.task_id)
+
+    def _feed_batch(
+        self, runtime: _BatchRuntime, result: WindowResult, task_id: int
+    ) -> None:
+        runtime.pending.append(result)
+        runtime.dep_ids.append(task_id)
+        if len(runtime.pending) < runtime.op.every:
+            return
+        pending, deps = runtime.pending, tuple(runtime.dep_ids)
+        runtime.pending, runtime.dep_ids = [], []
+        index = runtime.batches
+        runtime.batches = index + 1
+        instance = self._lower(
+            runtime.op,
+            index,
+            pending[0].window_start,
+            pending[-1].window_end,
+            pending,
+            len(pending),
+        )
+        self._inflight[instance.task_id] = (
+            runtime,
+            pending[0].window_start,
+            pending[-1].window_end,
+            pending,
+            len(pending),
+            None,
+        )
+        self.executor.submit_tasks([(instance, deps)])
+        self.tasks_lowered += 1
+        self.batch_tasks += 1
+
+    # -------------------------------------------------------------- metrics
+
+    def results_of(self, name: str) -> List[WindowResult]:
+        runtime = self._runtimes.get(name) or self._batch_runtimes.get(name)
+        if runtime is None:
+            raise KeyError(f"unknown window operator {name!r}")
+        return list(runtime.results)
+
+    def mean_latency(self, name: str) -> float:
+        results = self.results_of(name)
+        if not results:
+            return 0.0
+        return sum(r.latency for r in results) / len(results)
+
+    def max_latency(self, name: str) -> float:
+        return max((r.latency for r in self.results_of(name)), default=0.0)
+
+    def retained_high_water(self) -> int:
+        """Largest retained-suffix size across the plane's source streams."""
+        return max(
+            (s.stream.max_retained for s in self.operators.sources), default=0
+        )
+
+    def stats(self) -> Dict[str, Any]:
+        dropped = spilled = spill_depth = 0
+        for source in self.operators.sources:
+            valve = source.valve
+            if valve is not None:
+                dropped += valve.dropped
+                spilled += valve.spilled
+                spill_depth += valve.spill_depth
+        return {
+            "elements_ingested": self.elements_ingested,
+            "late_elements": self.late_elements,
+            "windows_closed": self.windows_closed,
+            "tasks_lowered": self.tasks_lowered,
+            "batch_tasks": self.batch_tasks,
+            "dropped": dropped,
+            "spilled": spilled,
+            "spill_depth": spill_depth,
+            "buffered_high_water": self.buffered_high_water,
+            "retained_high_water": self.retained_high_water(),
+        }

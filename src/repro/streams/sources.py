@@ -1,19 +1,90 @@
-"""Stream sources: sensors and instruments at the edge."""
+"""Stream sources: sensors and instruments at the edge.
+
+Production-rate emission rides two mechanisms:
+
+* **Batched ingestion** — ``batch=N`` publishes N readings per engine event
+  (timestamps still spaced by the jittered period, bit-identical to
+  per-element emission), so the event-queue cost is one event per batch.
+* **Credit-based backpressure** — a :class:`CreditValve` between the source
+  and its consumers: every admitted element spends a credit, consumers
+  grant credits back as window tasks complete, and when credits run out
+  the configured policy applies — ``drop`` discards the newest readings,
+  ``spill`` defers them (a disk-spill stand-in) for re-ingestion ahead of
+  the next batch once credits return.
+"""
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Callable, List, Optional
 
 from repro.simulation.engine import SimulationEngine
 from repro.simulation.random import DeterministicRandom
 from repro.streams.stream import DataStream, StreamElement
 
 
+class CreditValve:
+    """Backpressure channel from stream consumers to a source's rate.
+
+    The source asks :meth:`admit` before publishing; consumers call
+    :meth:`grant` as they retire elements (window task completed, or the
+    element filtered out before ever buffering).  Credits therefore bound
+    the number of un-retired elements in flight, which is what bounds both
+    stream memory and window-task backlog.
+    """
+
+    def __init__(self, credits: int, policy: str = "drop") -> None:
+        if credits < 1:
+            raise ValueError(f"credits must be >= 1, got {credits}")
+        if policy not in ("drop", "spill"):
+            raise ValueError(f"unknown overflow policy {policy!r} (drop, spill)")
+        self.initial_credits = credits
+        self.credits = credits
+        self.policy = policy
+        self.dropped = 0
+        #: Spill *writes*: each deferral of an element counts once (an
+        #: element re-spilled across several starved batches counts each
+        #: time, like repeated disk writes would).
+        self.spilled = 0
+        self.granted = 0
+        self._spill: List[StreamElement] = []
+
+    @property
+    def spill_depth(self) -> int:
+        """Elements currently parked in the spill buffer."""
+        return len(self._spill)
+
+    def admit(self, requested: int) -> int:
+        taken = self.credits if requested > self.credits else requested
+        self.credits -= taken
+        return taken
+
+    def overflow(self, elements: List[StreamElement]) -> None:
+        """Apply the policy to elements that found no credit."""
+        if self.policy == "drop":
+            self.dropped += len(elements)
+        else:
+            self.spilled += len(elements)
+            self._spill.extend(elements)
+
+    def take_spilled(self) -> List[StreamElement]:
+        """Drain the spill buffer (oldest first) for re-admission."""
+        if not self._spill:
+            return []
+        spilled = self._spill
+        self._spill = []
+        return spilled
+
+    def grant(self, count: int) -> None:
+        self.credits += count
+        self.granted += count
+
+
 class SensorSource:
     """An edge sensor publishing readings on a (jittered) period.
 
     Args:
-        engine: the DES engine driving virtual time.
+        engine: the DES engine driving virtual time (a plain engine or a
+            zone's ``ShardApi`` — anything with ``at``/``now``).
         stream: the channel readings are published to.
         name: sensor identity (stamped on elements).
         period_s: nominal inter-reading period.
@@ -22,6 +93,11 @@ class SensorSource:
             defaults to a unit-mean noisy signal.
         until: stop emitting at this virtual time (None = run forever —
             callers must then bound the engine run themselves).
+        batch: readings emitted per engine event.  Timestamps are identical
+            to ``batch=1`` (each still one jittered period after the last);
+            only the event-queue granularity changes.
+        valve: optional credit valve; without one every reading publishes.
+        zone: shard the emission events file under on sharded engines.
     """
 
     def __init__(
@@ -34,21 +110,32 @@ class SensorSource:
         reading_fn: Optional[Callable[[int, DeterministicRandom], float]] = None,
         until: Optional[float] = None,
         seed: int = 0,
+        batch: int = 1,
+        valve: Optional[CreditValve] = None,
+        zone: Optional[str] = None,
     ) -> None:
         if period_s <= 0:
             raise ValueError("period_s must be positive")
         if not 0 <= jitter < 1:
             raise ValueError("jitter must be in [0, 1)")
+        if batch < 1:
+            raise ValueError(f"batch must be >= 1, got {batch}")
         self.engine = engine
         self.stream = stream
         self.name = name
         self.period_s = period_s
         self.jitter = jitter
         self.until = until
+        self.batch = batch
+        self.valve = valve
+        self.zone = zone
         self.reading_fn = reading_fn or (
             lambda seq, rng: 1.0 + 0.1 * (rng.random() - 0.5)
         )
         self.rng = DeterministicRandom(seed=seed, name=name)
+        #: Readings generated (admitted or not).
+        self.produced = 0
+        #: Readings actually published onto the stream.
         self.emitted = 0
         self._started = False
 
@@ -56,7 +143,12 @@ class SensorSource:
         if self._started:
             raise RuntimeError(f"sensor {self.name!r} already started")
         self._started = True
-        self.engine.at(max(at, self.engine.now), self._emit, label=f"{self.name}-emit")
+        self.engine.at(
+            max(at, self.engine.now),
+            self._emit,
+            label=f"{self.name}-emit",
+            shard=self.zone,
+        )
 
     def _next_delay(self) -> float:
         if self.jitter == 0:
@@ -68,9 +160,45 @@ class SensorSource:
         now = self.engine.now
         if self.until is not None and now > self.until:
             return
-        value = self.reading_fn(self.emitted, self.rng)
-        self.stream.publish(StreamElement(timestamp=now, value=value, source=self.name))
-        self.emitted += 1
-        next_time = now + self._next_delay()
-        if self.until is None or next_time <= self.until:
-            self.engine.at(next_time, self._emit, label=f"{self.name}-emit")
+        # Generate the batch.  Element k's timestamp is exactly the engine
+        # time the k-th per-element event would have fired at (same floats,
+        # same rng draw order), which is what makes batched and per-element
+        # ingestion byte-identical downstream.
+        readings: List[StreamElement] = []
+        timestamp: Optional[float] = now
+        for _ in range(self.batch):
+            readings.append(
+                StreamElement(
+                    timestamp=timestamp,
+                    value=self.reading_fn(self.produced, self.rng),
+                    source=self.name,
+                )
+            )
+            self.produced += 1
+            timestamp = timestamp + self._next_delay()
+            if self.until is not None and timestamp > self.until:
+                timestamp = None
+                break
+        valve = self.valve
+        if valve is not None:
+            # Spilled elements re-enter first: they are older than this
+            # batch's readings, so admission order preserves timestamp
+            # monotonicity; overflow takes the (newest) tail.
+            candidates = valve.take_spilled()
+            if candidates:
+                candidates.extend(readings)
+            else:
+                candidates = readings
+            admitted = valve.admit(len(candidates))
+            to_publish = candidates[:admitted]
+            if admitted < len(candidates):
+                valve.overflow(candidates[admitted:])
+        else:
+            to_publish = readings
+        if to_publish:
+            self.stream.publish_batch(to_publish)
+            self.emitted += len(to_publish)
+        if timestamp is not None:
+            self.engine.at(
+                timestamp, self._emit, label=f"{self.name}-emit", shard=self.zone
+            )

@@ -46,7 +46,7 @@ from repro.workloads import (
     task_chain,
 )
 
-WORKLOADS = ("guidance", "nmmb", "ep", "chain", "churn")
+WORKLOADS = ("guidance", "nmmb", "ep", "chain", "churn", "hybrid_stream")
 POLICIES = ("fifo", "load-balancing", "locality", "energy")
 ENGINES = ("single", "sharded", "parallel")
 
@@ -98,6 +98,12 @@ def _build_workload(args: argparse.Namespace):
         raise SystemExit(
             "churn is a live agent-plane workload (no static graph); "
             "it only works with 'repro simulate --workload churn'"
+        )
+    if args.workload == "hybrid_stream":
+        raise SystemExit(
+            "hybrid_stream lowers its tasks at window closes (no static "
+            "graph); it only works with 'repro simulate --workload "
+            "hybrid_stream'"
         )
     raise SystemExit(f"unknown workload {args.workload!r}")
 
@@ -177,9 +183,63 @@ def _cmd_simulate_churn(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _cmd_simulate_hybrid_stream(args: argparse.Namespace, out) -> int:
+    """Hybrid stream campaigns lower their tasks live (no static graph)."""
+    from repro.workloads import HybridStreamConfig, run_hybrid_stream
+
+    cfg = HybridStreamConfig(
+        zones=args.zones,
+        sensors_per_zone=args.sensors,
+        rate_hz=args.rate,
+        batch=args.stream_batch,
+        window_s=args.stream_window,
+        duration_s=args.sim_seconds,
+        credits=args.credits,
+        overflow=args.overflow,
+        seed=args.seed,
+    )
+    result, _stats = run_hybrid_stream(
+        cfg, engine=args.engine, workers=args.zones
+    )
+    print(
+        f"workload : hybrid_stream ({result['sensors']} sensors, "
+        f"{args.zones} zones @ {args.rate:g} Hz)",
+        file=out,
+    )
+    print(
+        f"streams  : {result['stream_events']} events ingested "
+        f"(batch {args.stream_batch}), {result['stream_dropped']} dropped, "
+        f"{result['stream_spilled']} spilled ({result['overflow']} policy, "
+        f"{args.credits} credits)",
+        file=out,
+    )
+    print(
+        f"windows  : {result['windows_closed']} closed -> "
+        f"{result['tasks_lowered']} tasks lowered "
+        f"({result['batch_tasks']} batch stages), "
+        f"{result['tasks_done']} done",
+        file=out,
+    )
+    print(
+        f"latency  : {result['mean_latency_s'] * 1e3:.1f} ms mean, "
+        f"{result['max_latency_s'] * 1e3:.1f} ms max after window close",
+        file=out,
+    )
+    print(
+        f"memory   : {result['retained_high_water']} elements retained "
+        f"high-water (watermark pruning)",
+        file=out,
+    )
+    print(f"engine   : {args.engine}", file=out)
+    print(f"events   : {result['events']} dispatched", file=out)
+    return 0
+
+
 def cmd_simulate(args: argparse.Namespace, out) -> int:
     if args.workload == "churn":
         return _cmd_simulate_churn(args, out)
+    if args.workload == "hybrid_stream":
+        return _cmd_simulate_hybrid_stream(args, out)
     builder, initial_data = _build_workload(args)
     graph = builder.graph
     compile_stats = None
@@ -302,6 +362,38 @@ def simulate_scenario_runner(
                 "cpu_seconds": stats["max_lane_cpu_seconds"]
                 + stats["coordinator_cpu_seconds"]
             }
+        return result
+    if workload_name == "hybrid_stream":
+        from repro.workloads import HybridStreamConfig, run_hybrid_stream
+
+        cfg = HybridStreamConfig(
+            zones=int(scenario.get("zones", 2)),
+            sensors_per_zone=int(scenario.get("sensors", 4)),
+            rate_hz=float(scenario.get("rate_hz", 10.0)),
+            batch=int(scenario.get("batch", 16)),
+            window_s=float(scenario.get("window", 5.0)),
+            duration_s=float(scenario.get("duration", 120.0)),
+            credits=int(scenario.get("credits", 4096)),
+            overflow=scenario.get("overflow", "spill"),
+            inter_zone_latency_s=float(scenario.get("inter_zone_latency", 0.25)),
+            seed=seed,
+        )
+        result, stats = run_hybrid_stream(
+            cfg, engine=engine, workers=int(scenario.get("workers", 2))
+        )
+        # Per-scenario stream counters ride the _stats channel into the
+        # sweep's per-run stats (SweepStats.total_stream_* aggregates).
+        run_stats = {
+            "stream_events": float(result["stream_events"]),
+            "stream_dropped": float(result["stream_dropped"]),
+            "stream_spilled": float(result["stream_spilled"]),
+            "windows_closed": float(result["windows_closed"]),
+        }
+        if stats:
+            run_stats["cpu_seconds"] = (
+                stats["max_lane_cpu_seconds"] + stats["coordinator_cpu_seconds"]
+            )
+        result["_stats"] = run_stats
         return result
     if workload_name == "churn":
         from repro.workloads import ChurnConfig, run_churn, run_churn_fleet
@@ -434,6 +526,14 @@ def cmd_sweep(args: argparse.Namespace, out) -> int:
         file=out,
     )
     print(f"peak rss : {stats.max_peak_rss_kb / 1024:.0f} MB/worker", file=out)
+    if stats.total_stream_events:
+        print(
+            f"streams  : {stats.total_stream_events:.0f} events, "
+            f"{stats.total_windows_closed:.0f} windows closed, "
+            f"{stats.total_stream_dropped:.0f} dropped, "
+            f"{stats.total_stream_spilled:.0f} spilled",
+            file=out,
+        )
     if args.dedupe or stats.total_cache_hits or stats.total_cache_skipped:
         print(
             f"reuse    : {stats.total_cache_hits:.0f} hits, "
@@ -495,6 +595,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="failure-notification model (broadcast is the O(agents) reference)",
     )
     churn_opts.add_argument("--seed", type=int, default=42)
+    stream_opts = simulate.add_argument_group(
+        "hybrid_stream workload (shares --zones, --sim-seconds, --seed)"
+    )
+    stream_opts.add_argument(
+        "--sensors", type=int, default=4, help="sensors per zone"
+    )
+    stream_opts.add_argument(
+        "--rate", type=float, default=10.0, help="readings per second per sensor"
+    )
+    stream_opts.add_argument(
+        "--stream-window", type=float, default=5.0, help="tumbling window (s)"
+    )
+    stream_opts.add_argument(
+        "--stream-batch",
+        type=int,
+        default=16,
+        help="readings published per engine event",
+    )
+    stream_opts.add_argument(
+        "--credits",
+        type=int,
+        default=4096,
+        help="backpressure credits per sensor valve",
+    )
+    stream_opts.add_argument(
+        "--overflow",
+        choices=("drop", "spill"),
+        default="spill",
+        help="policy when a source runs out of credits",
+    )
     simulate.add_argument("--policy", choices=POLICIES, default="load-balancing")
     simulate.add_argument(
         "--engine",

@@ -31,9 +31,17 @@ from repro.workloads.churn import (
     run_churn,
     run_churn_fleet,
 )
+from repro.workloads.hybrid_stream import (
+    HybridStreamConfig,
+    make_hybrid_stream_programs,
+    run_hybrid_stream,
+)
 
 __all__ = [
     "ChurnConfig",
+    "HybridStreamConfig",
+    "make_hybrid_stream_programs",
+    "run_hybrid_stream",
     "make_churn_programs",
     "run_churn",
     "run_churn_fleet",

@@ -5,6 +5,10 @@ import pytest
 from repro.infrastructure import make_fog_platform
 from repro.simulation import SimulationEngine
 from repro.streams import (
+    CreditValve,
+    DataflowPlane,
+    OperatorError,
+    OperatorGraph,
     BatchCollector,
     DataStream,
     SensorSource,
@@ -207,3 +211,252 @@ class TestBatchBaseline:
             return batch.result_latency
 
         assert run_streaming() * 10 < run_batch()
+
+
+class TestDataStreamBatchAndPruning:
+    def test_publish_batch_notifies_both_subscriber_kinds(self):
+        stream = DataStream("s")
+        per_element, batches = [], []
+        stream.subscribe(per_element.append)
+        stream.subscribe_batch(batches.append)
+        stream.publish_batch(
+            [StreamElement(1.0, "a"), StreamElement(2.0, "b")]
+        )
+        stream.publish(StreamElement(3.0, "c"))
+        assert [e.value for e in per_element] == ["a", "b", "c"]
+        assert [len(b) for b in batches] == [2, 1]
+
+    def test_publish_batch_enforces_monotone_timestamps(self):
+        stream = DataStream("s")
+        with pytest.raises(ValueError):
+            stream.publish_batch(
+                [StreamElement(2.0, "a"), StreamElement(1.0, "b")]
+            )
+
+    def test_prune_advances_watermark_and_guards_since(self):
+        stream = DataStream("s")
+        for t in (1.0, 2.0, 3.0, 4.0):
+            stream.publish(StreamElement(t, t))
+        assert stream.prune_upto(3.0) == 2
+        assert stream.watermark == 3.0
+        assert stream.pruned_count == 2
+        assert stream.total_published == 4
+        assert len(stream) == 2
+        assert [e.value for e in stream.since(3.0)] == [3.0, 4.0]
+        with pytest.raises(ValueError):
+            stream.since(2.5)
+
+    def test_max_retained_tracks_high_water(self):
+        stream = DataStream("s")
+        for t in (1.0, 2.0, 3.0):
+            stream.publish(StreamElement(t, t))
+        stream.prune_upto(10.0)
+        stream.publish(StreamElement(11.0, "x"))
+        assert stream.max_retained == 3
+        assert len(stream) == 1
+
+
+class TestCreditValve:
+    def test_admit_caps_at_available_credits(self):
+        valve = CreditValve(3, policy="drop")
+        assert valve.admit(2) == 2
+        assert valve.admit(5) == 1
+        assert valve.credits == 0
+
+    def test_drop_policy_counts_overflow(self):
+        valve = CreditValve(1, policy="drop")
+        valve.admit(1)
+        valve.overflow([StreamElement(0.0, "x"), StreamElement(1.0, "y")])
+        assert valve.dropped == 2
+        assert valve.take_spilled() == []
+
+    def test_spill_policy_requeues_in_order(self):
+        valve = CreditValve(1, policy="spill")
+        valve.admit(1)
+        valve.overflow([StreamElement(0.0, "x"), StreamElement(1.0, "y")])
+        assert valve.spilled == 2
+        assert valve.spill_depth == 2
+        assert [e.value for e in valve.take_spilled()] == ["x", "y"]
+        assert valve.spill_depth == 0
+
+    def test_grant_restores_credits(self):
+        valve = CreditValve(2, policy="drop")
+        valve.admit(2)
+        valve.grant(2)
+        assert valve.credits == 2
+        assert valve.granted == 2
+
+    def test_rejects_bad_policy_and_credits(self):
+        with pytest.raises(ValueError):
+            CreditValve(0)
+        with pytest.raises(ValueError):
+            CreditValve(1, policy="block")
+
+
+class TestSensorSourceBatching:
+    @staticmethod
+    def _timestamps(batch, jitter=0.3, seed=9):
+        engine = SimulationEngine()
+        stream = DataStream("r")
+        source = SensorSource(
+            engine, stream, period_s=0.5, jitter=jitter, until=8.0,
+            seed=seed, batch=batch,
+        )
+        source.start()
+        engine.run()
+        return [e.timestamp for e in stream.elements], source
+
+    def test_batched_emission_is_bit_identical_to_per_element(self):
+        for batch in (2, 5, 16):
+            per_element, src_1 = self._timestamps(1)
+            batched, src_b = self._timestamps(batch)
+            assert batched == per_element
+            assert src_b.produced == src_1.produced
+            assert src_b.emitted == src_1.emitted
+
+    def test_batched_emission_uses_fewer_engine_events(self):
+        engine_events = {}
+        for batch in (1, 8):
+            engine = SimulationEngine()
+            stream = DataStream("r")
+            SensorSource(
+                engine, stream, period_s=0.1, until=20.0, batch=batch
+            ).start()
+            engine.run()
+            engine_events[batch] = engine.dispatched_events
+        assert engine_events[8] * 4 < engine_events[1]
+
+
+class TestOperatorGraphAndPlane:
+    @staticmethod
+    def _platform_executor(engine):
+        from repro.core.graph import TaskGraph
+        from repro.executor.simulated import SimulatedExecutor
+        from repro.scheduling import DataLocationService, LoadBalancingPolicy
+
+        platform = make_fog_platform(num_edge=0, num_fog=1, num_cloud=1)
+        return SimulatedExecutor(
+            TaskGraph(),
+            platform,
+            policy=LoadBalancingPolicy(),
+            engine=engine,
+            locations=DataLocationService(),
+        )
+
+    def _run(self, build):
+        engine = SimulationEngine()
+        executor = self._platform_executor(engine)
+        operators = OperatorGraph("g")
+        feed = build(operators)
+        plane = DataflowPlane(operators, executor, ingest_node="fog-0")
+        plane.start()
+        stream = operators.sources[0].stream
+        for timestamp, value in feed:
+            stream.publish(StreamElement(timestamp, value))
+        engine.at(10.0, stream.close)
+        for extra in operators.sources[1:]:
+            engine.at(10.0, extra.stream.close)
+        engine.run()
+        return plane
+
+    def test_keyed_window_partitions_by_key(self):
+        def build(operators):
+            source = operators.source("in")
+            operators.tumbling_window(
+                "agg", [source], 5.0, compute_fn=sum,
+                key_fn=lambda v: v % 2,
+            )
+            return [(0.0, 1), (1.0, 2), (2.0, 3), (3.0, 4)]
+
+        plane = self._run(build)
+        (result,) = [r for r in plane.results_of("agg") if r.element_count]
+        assert result.value == {0: 6, 1: 4}
+
+    def test_keyed_join_matches_on_intersection(self):
+        def build(operators):
+            left = operators.source("left")
+            right = operators.source("right")
+            operators.keyed_join(
+                "join", left, right, 5.0,
+                key_fn=lambda v: v % 3,
+                join_fn=lambda key, lhs, rhs: (key, sorted(lhs), sorted(rhs)),
+            )
+            return []
+
+        engine = SimulationEngine()
+        executor = self._platform_executor(engine)
+        operators = OperatorGraph("g")
+        build(operators)
+        plane = DataflowPlane(operators, executor, ingest_node="fog-0")
+        plane.start()
+        left, right = (s.stream for s in operators.sources)
+        for t, v in [(0.0, 0), (1.0, 1), (2.0, 4)]:
+            left.publish(StreamElement(t, v))
+        for t, v in [(0.5, 3), (1.5, 7)]:
+            right.publish(StreamElement(t, v))
+        engine.at(10.0, left.close)
+        engine.at(10.0, right.close)
+        engine.run()
+        (result,) = [r for r in plane.results_of("join") if r.element_count]
+        # Keys 0 and 1 exist on both sides; key 4%3 == 1 joins with 7%3 == 1.
+        assert result.value == {0: (0, [0], [3]), 1: (1, [1, 4], [7])}
+
+    def test_batch_stage_runs_every_n_windows_with_dependencies(self):
+        def build(operators):
+            source = operators.source("in")
+            window = operators.tumbling_window(
+                "agg", [source], 1.0, compute_fn=sum
+            )
+            window.batch_every("recal", 3, fn=len)
+            return [(float(i) + 0.5, 1) for i in range(6)]
+
+        plane = self._run(build)
+        recal = plane.results_of("recal")
+        assert [r.value for r in recal] == [3, 3]
+        assert plane.batch_tasks == 2
+
+    def test_window_tasks_carry_content_keys(self):
+        def build(operators):
+            source = operators.source("in")
+            operators.tumbling_window(
+                "agg", [source], 5.0, compute_fn=sum, bytes_per_element=8.0
+            )
+            return [(0.0, 1), (1.0, 2)]
+
+        engine = SimulationEngine()
+        executor = self._platform_executor(engine)
+        operators = OperatorGraph("g")
+        feed = build(operators)
+        plane = DataflowPlane(operators, executor, ingest_node="fog-0")
+        plane.start()
+        stream = operators.sources[0].stream
+        for timestamp, value in feed:
+            stream.publish(StreamElement(timestamp, value))
+        engine.at(10.0, stream.close)
+        engine.run()
+        keys = [t.cache_key for t in executor.graph.tasks if t.label.startswith("g/agg")]
+        assert keys and all(k for k in keys)
+
+    def test_duplicate_operator_names_rejected(self):
+        operators = OperatorGraph("g")
+        source = operators.source("in")
+        source.map("calib", lambda v: v)
+        with pytest.raises(OperatorError):
+            source.map("calib", lambda v: v)
+
+    def test_batch_stages_do_not_stack(self):
+        operators = OperatorGraph("g")
+        source = operators.source("in")
+        window = operators.tumbling_window("agg", [source], 1.0, compute_fn=sum)
+        recal = window.batch_every("recal", 2, fn=len)
+        with pytest.raises(OperatorError):
+            recal.batch_every("again", 2, fn=len)
+
+    def test_describe_names_every_node(self):
+        operators = OperatorGraph("g")
+        source = operators.source("in")
+        chain = source.map("m", lambda v: v)
+        operators.tumbling_window("agg", [chain], 1.0, compute_fn=sum)
+        description = operators.describe()
+        assert description["sources"] == ["in"]
+        assert any("agg" in str(v) for v in description.values())

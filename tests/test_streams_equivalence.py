@@ -1,0 +1,290 @@
+"""Equivalence properties for the dataflow plane (PR 10).
+
+The plane's performance machinery must be invisible to results:
+
+1. **Operator lowering vs naive reference** — fused chains, incremental
+   window buckets and task lowering must produce exactly the window
+   contents, values, completion times and latencies a naive per-element
+   evaluation of the same dataflow would (the task runtime adds zero
+   virtual-time overhead when resources are free: a window task completes
+   at close + duration).
+2. **Batched vs per-element ingestion** — ``SensorSource(batch=N)`` emits
+   the same elements (same floats, same rng draw order) as ``batch=1``,
+   so every downstream artifact is byte-identical.
+3. **Backpressure on/off** — an unconstrained valve (ample credits) must
+   change nothing; a starved valve is deterministic run-to-run.
+4. **Watermark pruning** — a pruned stream answers ``since()`` above the
+   watermark exactly as the unpruned stream would, and refuses queries
+   below it.
+5. **Engines** — the hybrid campaign is byte-identical across
+   single/sharded/parallel, with adaptive GVT widening on or off.
+
+Example counts stay small: every example runs one or more full
+simulations.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.graph import TaskGraph
+from repro.executor.simulated import SimulatedExecutor
+from repro.infrastructure import make_fog_platform
+from repro.scheduling import DataLocationService, LoadBalancingPolicy
+from repro.simulation import SimulationEngine
+from repro.streams import (
+    CreditValve,
+    DataStream,
+    DataflowPlane,
+    OperatorGraph,
+    SensorSource,
+    StreamElement,
+)
+from repro.workloads import (
+    HybridStreamConfig,
+    make_hybrid_stream_programs,
+    run_hybrid_stream,
+)
+from repro.workloads.hybrid_stream import make_hybrid_stream_network
+
+
+def _duration_fn(count: int) -> float:
+    return 0.001 * count
+
+
+def _pipeline_params(**overrides):
+    params = dict(
+        period_s=st.sampled_from([0.3, 0.7, 1.0, 1.7]),
+        jitter=st.sampled_from([0.0, 0.2]),
+        window_s=st.sampled_from([2.0, 3.5, 5.0]),
+        campaign_s=st.sampled_from([10.0, 25.0]),
+        batch=st.integers(min_value=1, max_value=16),
+        scale=st.sampled_from([1.0, 2.5]),
+        threshold=st.sampled_from([-10.0, 0.9, 1.0]),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    params.update(overrides)
+    return st.fixed_dictionaries(params)
+
+
+def _run_plane(params, credits=None, policy="spill"):
+    """One-sensor map/filter/window pipeline on the dataflow plane."""
+    engine = SimulationEngine()
+    platform = make_fog_platform(num_edge=0, num_fog=1, num_cloud=1)
+    executor = SimulatedExecutor(
+        TaskGraph(),
+        platform,
+        policy=LoadBalancingPolicy(),
+        engine=engine,
+        locations=DataLocationService(),
+    )
+    operators = OperatorGraph("flow")
+    valve = CreditValve(credits, policy=policy) if credits else None
+    source = operators.source("sensor", valve=valve)
+    chain = source.map("scale", lambda v: v * params["scale"]).filter(
+        "qc", lambda v: v >= params["threshold"] * params["scale"]
+    )
+    operators.tumbling_window(
+        "agg",
+        [chain],
+        params["window_s"],
+        compute_fn=sum,
+        duration_fn=_duration_fn,
+    )
+    sensor = SensorSource(
+        engine,
+        source.stream,
+        period_s=params["period_s"],
+        jitter=params["jitter"],
+        until=params["campaign_s"],
+        seed=params["seed"],
+        batch=params["batch"],
+        valve=valve,
+    )
+    sensor.start()
+    plane = DataflowPlane(operators, executor, ingest_node="fog-0")
+    plane.start()
+    plane.close_sources_at(params["campaign_s"] + params["window_s"])
+    engine.run()
+    return plane, sensor, valve
+
+
+def _emitted_elements(params):
+    """The raw elements a sensor with these params publishes (batch=1)."""
+    engine = SimulationEngine()
+    stream = DataStream("raw")
+    SensorSource(
+        engine,
+        stream,
+        period_s=params["period_s"],
+        jitter=params["jitter"],
+        until=params["campaign_s"],
+        seed=params["seed"],
+    ).start()
+    engine.run()
+    return stream.elements
+
+
+def _naive_reference(elements, params):
+    """Per-element evaluation of the same dataflow, no task runtime."""
+    window_s = params["window_s"]
+    buckets = {}
+    for element in elements:
+        value = element.value * params["scale"]
+        if value < params["threshold"] * params["scale"]:
+            continue
+        buckets.setdefault(int(element.timestamp // window_s), []).append(value)
+    results = []
+    for index in sorted(buckets):
+        values = buckets[index]
+        close = (index + 1) * window_s
+        results.append(
+            (
+                close - window_s,
+                close,
+                close + _duration_fn(len(values)),
+                sum(values),
+                len(values),
+            )
+        )
+    return results
+
+
+def _plane_records(plane):
+    return [
+        (r.window_start, r.window_end, r.completed_at, r.value, r.element_count)
+        for r in sorted(plane.results_of("agg"), key=lambda r: r.window_start)
+    ]
+
+
+class TestLoweringMatchesNaiveReference:
+    @settings(max_examples=10, deadline=None)
+    @given(_pipeline_params())
+    def test_window_contents_results_and_latencies_match(self, params):
+        plane, sensor, _valve = _run_plane(params)
+        reference = _naive_reference(_emitted_elements(params), params)
+        assert _plane_records(plane) == reference
+        # Latency is exactly the window task's duration: lowering through
+        # the task runtime costs zero extra virtual time on free resources.
+        for record in reference:
+            assert math.isclose(record[2] - record[1], _duration_fn(record[4]))
+        assert plane.elements_ingested == sensor.emitted
+
+    @settings(max_examples=6, deadline=None)
+    @given(_pipeline_params())
+    def test_batched_vs_per_element_ingestion_identical(self, params):
+        batched, sensor_b, _ = _run_plane(params)
+        per_element, sensor_p, _ = _run_plane(dict(params, batch=1))
+        assert sensor_b.produced == sensor_p.produced
+        assert _plane_records(batched) == _plane_records(per_element)
+        assert batched.windows_closed == per_element.windows_closed
+        assert batched.elements_ingested == per_element.elements_ingested
+
+    @settings(max_examples=6, deadline=None)
+    @given(_pipeline_params())
+    def test_backpressure_off_vs_unconstrained_valve_identical(self, params):
+        plain, _, _ = _run_plane(params, credits=None)
+        valved, _, valve = _run_plane(params, credits=10**6)
+        assert _plane_records(plain) == _plane_records(valved)
+        assert valve.dropped == 0 and valve.spilled == 0
+        # Every admitted element's credit came back by quiescence.
+        assert valve.credits == valve.initial_credits
+
+    @settings(max_examples=6, deadline=None)
+    @given(_pipeline_params(batch=st.integers(min_value=4, max_value=16)))
+    def test_starved_valve_is_deterministic(self, params):
+        first, sensor_1, valve_1 = _run_plane(params, credits=7, policy="drop")
+        second, sensor_2, valve_2 = _run_plane(params, credits=7, policy="drop")
+        assert _plane_records(first) == _plane_records(second)
+        assert valve_1.dropped == valve_2.dropped
+        assert sensor_1.emitted == sensor_2.emitted
+        # Conservation: every produced reading was published or dropped.
+        assert sensor_1.produced == sensor_1.emitted + valve_1.dropped
+
+
+class TestWatermarkPruning:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+            min_size=1,
+            max_size=60,
+        ),
+        st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+        st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+    )
+    def test_pruned_stream_serves_since_like_unpruned(self, times, cut, query):
+        times = sorted(times)
+        full = DataStream("full")
+        pruned = DataStream("pruned")
+        for t in times:
+            full.publish(StreamElement(t, t))
+            pruned.publish(StreamElement(t, t))
+        removed = pruned.prune_upto(cut)
+        assert removed == sum(1 for t in times if t < cut)
+        assert pruned.total_published == len(times)
+        if removed and query < pruned.watermark:
+            try:
+                pruned.since(query)
+            except ValueError:
+                pass
+            else:
+                raise AssertionError("since() below the watermark must raise")
+        else:
+            assert pruned.since(query) == full.since(query)
+
+    def test_plane_prunes_as_windows_close(self):
+        params = dict(
+            period_s=0.5, jitter=0.0, window_s=2.0, campaign_s=30.0,
+            batch=4, scale=1.0, threshold=-10.0, seed=3,
+        )
+        plane, sensor, _ = _run_plane(params)
+        stream = plane.operators.sources[0].stream
+        assert stream.pruned_count > 0
+        # Retained memory is bounded by the in-flight window span, not the
+        # campaign: high-water stays near one window of elements.
+        elements_per_window = params["window_s"] / params["period_s"]
+        assert stream.max_retained <= 3 * elements_per_window + params["batch"]
+        assert sensor.emitted == stream.total_published
+
+
+class TestEngineEquivalence:
+    CFG = HybridStreamConfig(
+        zones=2,
+        sensors_per_zone=2,
+        rate_hz=8.0,
+        batch=4,
+        window_s=4.0,
+        duration_s=40.0,
+        credits=64,
+        overflow="spill",
+    )
+
+    def test_hybrid_campaign_byte_identical_across_engines(self):
+        single, _ = run_hybrid_stream(self.CFG, engine="single")
+        sharded, _ = run_hybrid_stream(self.CFG, engine="sharded")
+        parallel, _ = run_hybrid_stream(self.CFG, engine="parallel", workers=2)
+        assert single == sharded == parallel
+
+    def test_adaptive_widening_preserves_results_and_fires(self):
+        from repro.simulation.parallel import ParallelShardedSimulationEngine
+
+        def run(adaptive):
+            sim = ParallelShardedSimulationEngine(
+                make_hybrid_stream_network(self.CFG),
+                make_hybrid_stream_programs(self.CFG),
+                workers=2,
+                adaptive_window=adaptive,
+            )
+            sim.run()
+            return sim
+
+        widened = run(True)
+        fixed = run(False)
+        assert widened.results == fixed.results
+        assert widened.stats["widened_windows"] > 0
+        assert fixed.stats["widened_windows"] == 0
+        assert widened.stats["max_window_factor"] > 1.0
+        # Widening may only ever merge barrier rounds, never add them.
+        assert widened.stats["windows"] <= fixed.stats["windows"]
